@@ -1,0 +1,68 @@
+package repro
+
+import (
+	"testing"
+
+	"castan/internal/castan"
+	"castan/internal/memsim"
+	"castan/internal/nf"
+	"castan/internal/packet"
+)
+
+// runAblation analyzes one NF twice — with a feature enabled and
+// disabled — and reports the resulting adversarial quality, quantifying
+// how much each of CASTAN's two signature mechanisms contributes.
+func runAblation(b *testing.B, nfName string, toggleCache, toggleRainbow bool) {
+	b.Helper()
+	analyze := func(noCache, noRainbow bool) *castan.Output {
+		inst, err := nf.New(nfName)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hier := memsim.New(memsim.DefaultGeometry(), 2018)
+		out, err := castan.Analyze(inst, hier, castan.Config{
+			NPackets:     20,
+			MaxStates:    20000,
+			Seed:         2018,
+			NoCacheModel: noCache,
+			NoRainbow:    noRainbow,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return out
+	}
+	var on, off *castan.Output
+	for i := 0; i < b.N; i++ {
+		on = analyze(false, false)
+		off = analyze(toggleCache, toggleRainbow)
+	}
+	if toggleCache {
+		b.ReportMetric(float64(on.ExpectDRAM), "dram_on")
+		b.ReportMetric(float64(off.ExpectDRAM), "dram_off")
+	}
+	if toggleRainbow {
+		b.ReportMetric(collisionPile(b, on), "pile_on")
+		b.ReportMetric(collisionPile(b, off), "pile_off")
+	}
+}
+
+// collisionPile measures the largest real hash-bucket pile of a workload.
+func collisionPile(b *testing.B, out *castan.Output) float64 {
+	b.Helper()
+	buckets := map[uint64]int{}
+	for _, fr := range out.Frames {
+		p, err := packet.Parse(fr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buckets[nf.ChainBucketOf(p.Tuple())]++
+	}
+	max := 0
+	for _, c := range buckets {
+		if c > max {
+			max = c
+		}
+	}
+	return float64(max)
+}

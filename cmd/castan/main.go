@@ -1,0 +1,116 @@
+// Command castan analyzes a network function and synthesizes an
+// adversarial workload, writing it as a PCAP file together with the
+// per-packet predicted performance metrics — the reproduction of the
+// paper's analysis tool.
+//
+// Usage:
+//
+//	castan -nf lpm-dl1 -packets 40 -out adversarial.pcap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"castan/internal/cachemodel"
+	"castan/internal/castan"
+	"castan/internal/memsim"
+	"castan/internal/nf"
+	"castan/internal/pcap"
+	"castan/internal/workload"
+)
+
+func main() {
+	var (
+		nfName   = flag.String("nf", "", "network function to analyze ("+strings.Join(nf.Names, ", ")+")")
+		packets  = flag.Int("packets", 0, "adversarial workload length (default: the paper's per-NF size)")
+		states   = flag.Int("states", 6000, "symbolic exploration budget")
+		seed     = flag.Uint64("seed", 2018, "seed for discovery sampling and the DUT's hidden hash")
+		out      = flag.String("out", "", "PCAP output path (default <nf>-castan.pcap)")
+		noCache  = flag.Bool("no-cache-model", false, "disable the cache model (ablation)")
+		modelIn  = flag.String("cache-model", "", "load a persisted contention-set model instead of discovering one")
+		report   = flag.String("report", "", "write the per-packet metrics report (JSON) to this path")
+		noRain   = flag.Bool("no-rainbow", false, "disable havoc reconciliation (ablation)")
+		validate = flag.Bool("validate", true, "replay the workload on the interpreter as a sanity check")
+	)
+	flag.Parse()
+	if *nfName == "" {
+		fmt.Fprintln(os.Stderr, "castan: -nf is required; known NFs:", strings.Join(nf.Names, ", "))
+		os.Exit(2)
+	}
+	inst, err := nf.New(*nfName)
+	if err != nil {
+		fatal(err)
+	}
+	np := *packets
+	if np == 0 {
+		np = paperPackets[*nfName]
+	}
+	if np == 0 {
+		np = 30
+	}
+	hier := memsim.New(memsim.DefaultGeometry(), *seed)
+	fmt.Printf("analyzing %s (%d packets, %d states budget) on %s\n",
+		*nfName, np, *states, hier.Geometry())
+	cfg := castan.Config{
+		NPackets:     np,
+		MaxStates:    *states,
+		Seed:         *seed,
+		NoCacheModel: *noCache,
+		NoRainbow:    *noRain,
+	}
+	if *modelIn != "" {
+		m, err := cachemodel.LoadFile(*modelIn)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.CacheModel = m
+	}
+	res, err := castan.Analyze(inst, hier, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	path := *out
+	if path == "" {
+		path = *nfName + "-castan.pcap"
+	}
+	if err := pcap.WriteFile(path, res.Frames); err != nil {
+		fatal(err)
+	}
+	w := workload.FromFrames("CASTAN", res.Frames)
+	fmt.Printf("wrote %s: %d packets, %d flows\n", path, len(res.Frames), w.Flows)
+	fmt.Printf("analysis: %.1fs, %d states explored, %d contention sets, havocs %d/%d reconciled\n",
+		res.AnalysisTime.Seconds(), res.StatesExplored, res.ContentionSetsFound,
+		res.HavocsReconciled, res.HavocsTotal)
+	fmt.Printf("predicted path: %d instrs, %d loads, %d stores, %d expected DRAM trips\n",
+		res.Instrs, res.Loads, res.Stores, res.ExpectDRAM)
+	for i, pm := range res.Packets {
+		fmt.Printf("  packet %2d: %5d predicted cycles\n", i, pm.Cycles)
+	}
+	if *report != "" {
+		if err := res.WriteReportFile(*report); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote metrics report to %s\n", *report)
+	}
+	if *validate {
+		instrs, err := castan.Validate(*nfName, res.Frames)
+		if err != nil {
+			fatal(fmt.Errorf("validation replay: %w", err))
+		}
+		fmt.Printf("validation replay executed %d instructions (prediction: %d)\n", instrs, res.Instrs)
+	}
+}
+
+var paperPackets = map[string]int{
+	"lb-chain": 30, "lb-ring": 40, "lb-rbtree": 30, "lb-ubtree": 30,
+	"lpm-trie": 30, "lpm-dl1": 40, "lpm-dl2": 40,
+	"nat-chain": 30, "nat-ring": 40, "nat-rbtree": 35, "nat-ubtree": 50,
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "castan:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,59 @@
+// hashring-attack reproduces the hash-reversal result (§5.4, Fig. 13): a
+// CASTAN workload against the LB's giant open-addressing hash ring. The
+// hash is havoced during analysis and reversed offline with rainbow
+// tables; the dominant damage comes from cache contention across the
+// ring's 64 MiB of cache-aligned entries.
+//
+//	go run ./examples/hashring-attack
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"castan/internal/castan"
+	"castan/internal/memsim"
+	"castan/internal/nf"
+	"castan/internal/testbed"
+	"castan/internal/workload"
+)
+
+func main() {
+	seed := uint64(2018)
+	const packets = 20
+
+	fmt.Println("== CASTAN analysis of lb-ring (havoc + rainbow reversal) ==")
+	inst, err := nf.New("lb-ring")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hier := memsim.New(memsim.DefaultGeometry(), seed)
+	out, err := castan.Analyze(inst, hier, castan.Config{NPackets: packets, MaxStates: 8000, Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("contention sets discovered: %d\n", out.ContentionSetsFound)
+	fmt.Printf("havocs reconciled via rainbow tables: %d/%d\n", out.HavocsReconciled, out.HavocsTotal)
+	fmt.Printf("lookups predicted to hit DRAM: %d\n\n", out.ExpectDRAM)
+
+	opts := testbed.Options{Seed: seed, MeasureCap: 4096}
+	zipf, err := workload.Zipfian(workload.ProfileLB, 16384, 2048, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-16s %12s %12s\n", "workload", "median ns", "L3 misses")
+	for _, wl := range []*workload.Workload{
+		zipf,
+		workload.UniRand(workload.ProfileLB, 16384, seed+1),
+		workload.UniRandN(workload.ProfileLB, packets, seed+2),
+		workload.FromFrames("CASTAN", out.Frames),
+	} {
+		m, err := testbed.Measure("lb-ring", wl, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s %12.0f %12.0f\n", wl.Name, m.Latency.Median(), m.L3Misses.Median())
+	}
+	fmt.Println("\nCASTAN's few packets contend for the same L3 set on every lookup,")
+	fmt.Println("beating even the uniform-random flood per the paper's Fig. 13.")
+}

@@ -1,0 +1,3 @@
+module castan
+
+go 1.22

@@ -1,0 +1,266 @@
+package cachemodel
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"castan/internal/memsim"
+)
+
+// pool returns n line-aligned addresses starting at base.
+func pool(base uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = base + uint64(i)*64
+	}
+	return out
+}
+
+func tinyConfig(p []uint64) DiscoverConfig {
+	g := memsim.TinyGeometry()
+	return DiscoverConfig{
+		Pool:      p,
+		Assoc:     g.L3Ways,
+		LineBytes: g.LineBytes,
+		LatL3:     g.LatL3,
+		LatDRAM:   g.LatDRAM,
+		Rounds:    2,
+		MaxSets:   2,
+		Seed:      1,
+	}
+}
+
+func TestDiscoverTiny(t *testing.T) {
+	g := memsim.TinyGeometry()
+	h := memsim.New(g, 11)
+	p := pool(0, 64) // 64 lines over 4 contention sets: ~16 per set
+	m, err := Discover(h, tinyConfig(p))
+	if err != nil {
+		t.Fatalf("Discover: %v", err)
+	}
+	if len(m.Sets) == 0 {
+		t.Fatal("no sets")
+	}
+	for si, s := range m.Sets {
+		if len(s.Addrs) < g.L3Ways+1 {
+			t.Errorf("set %d has only %d members", si, len(s.Addrs))
+		}
+		// Ground truth: every member must map to the same hidden set.
+		want := h.DebugContentionSet(s.Addrs[0])
+		for _, a := range s.Addrs {
+			if h.DebugContentionSet(a) != want {
+				t.Errorf("set %d member %#x maps to %d, want %d",
+					si, a, h.DebugContentionSet(a), want)
+			}
+		}
+		// And the model's index must agree with itself.
+		for _, a := range s.Addrs {
+			if m.SetOf(a) != si {
+				t.Errorf("SetOf(%#x) = %d, want %d", a, m.SetOf(a), si)
+			}
+		}
+	}
+	if m.SetOf(0xdead000) != -1 {
+		t.Error("unknown address should map to -1")
+	}
+}
+
+func TestDiscoverFindsDistinctSets(t *testing.T) {
+	g := memsim.TinyGeometry()
+	h := memsim.New(g, 23)
+	p := pool(0, 96)
+	cfg := tinyConfig(p)
+	cfg.MaxSets = 3
+	m, err := Discover(h, cfg)
+	if err != nil {
+		t.Fatalf("Discover: %v", err)
+	}
+	if len(m.Sets) < 2 {
+		t.Fatalf("found %d sets, want >= 2", len(m.Sets))
+	}
+	// Distinct discovered sets must be distinct hidden sets.
+	seen := map[int]bool{}
+	for _, s := range m.Sets {
+		hidden := h.DebugContentionSet(s.Addrs[0])
+		if seen[hidden] {
+			t.Errorf("hidden set %d discovered twice", hidden)
+		}
+		seen[hidden] = true
+	}
+}
+
+func TestDiscoverValidation(t *testing.T) {
+	h := memsim.New(memsim.TinyGeometry(), 1)
+	if _, err := Discover(h, DiscoverConfig{Assoc: 0, Pool: pool(0, 8)}); err == nil {
+		t.Error("Assoc=0 accepted")
+	}
+	cfg := tinyConfig(nil)
+	if _, err := Discover(h, cfg); err == nil {
+		t.Error("empty pool accepted")
+	}
+	// A pool too small to exceed associativity anywhere finds nothing.
+	cfg = tinyConfig(pool(0, 3))
+	if _, err := Discover(h, cfg); err == nil {
+		t.Error("tiny pool should find no sets")
+	}
+}
+
+func TestDiscoverDefaultGeometrySingleSet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-geometry discovery is slow")
+	}
+	g := memsim.DefaultGeometry()
+	h := memsim.New(g, 99)
+	// 128 sets, α=16: a ~2600-line pool averages ~20 per set.
+	p := pool(0, 2600)
+	cfg := DiscoverConfig{
+		Pool:      p,
+		Assoc:     g.L3Ways,
+		LineBytes: g.LineBytes,
+		LatL3:     g.LatL3,
+		LatDRAM:   g.LatDRAM,
+		Rounds:    2,
+		MaxSets:   1,
+		Seed:      7,
+	}
+	m, err := Discover(h, cfg)
+	if err != nil {
+		t.Fatalf("Discover: %v", err)
+	}
+	s := m.Sets[0]
+	if len(s.Addrs) < g.L3Ways+1 {
+		t.Fatalf("set has %d members, want > α=%d", len(s.Addrs), g.L3Ways)
+	}
+	want := h.DebugContentionSet(s.Addrs[0])
+	for _, a := range s.Addrs {
+		if h.DebugContentionSet(a) != want {
+			t.Errorf("member %#x in hidden set %d, want %d", a, h.DebugContentionSet(a), want)
+		}
+	}
+}
+
+func TestTrackerPlacementAndContention(t *testing.T) {
+	m := &Model{
+		Assoc:     2,
+		LineBytes: 64,
+		Sets: []ContentionSet{
+			{Addrs: []uint64{0x0, 0x40, 0x80, 0xc0}},
+			{Addrs: []uint64{0x100, 0x140, 0x180}},
+		},
+	}
+	m.buildIndex()
+	tr := m.NewTracker()
+
+	// Candidates initially list all members; ties broken by set index.
+	c := tr.Candidates()
+	if len(c) != 7 {
+		t.Fatalf("candidates = %d", len(c))
+	}
+	if c[0] != 0x0 {
+		t.Errorf("first candidate = %#x", c[0])
+	}
+
+	// Record accesses into set 0 until contention.
+	if tr.RecordAccess(0x0) != true {
+		t.Error("cold access should be DRAM")
+	}
+	if tr.RecordAccess(0x0) != false {
+		t.Error("repeat access should hit")
+	}
+	tr.RecordAccess(0x40)
+	if tr.ContendedSets() != 0 {
+		t.Error("not yet contended")
+	}
+	if !tr.RecordAccess(0x80) { // third line in 2-way set: thrash
+		t.Error("third line should be DRAM")
+	}
+	if tr.ContendedSets() != 1 {
+		t.Errorf("ContendedSets = %d", tr.ContendedSets())
+	}
+	// Once contended, even previously-placed lines miss.
+	if !tr.RecordAccess(0x0) {
+		t.Error("access within thrashing set should be DRAM")
+	}
+
+	// The contended set keeps priority in Candidates (deepen the thrash).
+	c = tr.Candidates()
+	if c[0] != 0xc0 {
+		t.Errorf("next candidate = %#x, want remaining member of hot set", c[0])
+	}
+
+	// Lines in unknown space: cold miss once, then hit.
+	if !tr.RecordAccess(0x9000) {
+		t.Error("unknown cold line should be DRAM")
+	}
+	if tr.RecordAccess(0x9008) { // same line (0x9000..0x9040)
+		t.Error("unknown warm line should hit")
+	}
+	if tr.PlacedLines() != 4 {
+		t.Errorf("PlacedLines = %d", tr.PlacedLines())
+	}
+}
+
+func TestTrackerClone(t *testing.T) {
+	m := &Model{Assoc: 1, LineBytes: 64, Sets: []ContentionSet{{Addrs: []uint64{0, 64}}}}
+	m.buildIndex()
+	tr := m.NewTracker()
+	tr.RecordAccess(0)
+	cl := tr.Clone()
+	cl.RecordAccess(64)
+	if cl.ContendedSets() != 1 {
+		t.Error("clone should see contention")
+	}
+	if tr.ContendedSets() != 0 {
+		t.Error("original polluted by clone")
+	}
+	if cl.Model() != m {
+		t.Error("model pointer lost")
+	}
+}
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	m := &Model{
+		Assoc:     4,
+		LineBytes: 64,
+		Sets: []ContentionSet{
+			{Addrs: []uint64{0x1000, 0x2000, 0x3000}},
+			{Addrs: []uint64{0x4040, 0x5040}},
+		},
+	}
+	m.buildIndex()
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Assoc != 4 || got.LineBytes != 64 || len(got.Sets) != 2 {
+		t.Fatalf("loaded shape: %+v", got)
+	}
+	if got.SetOf(0x2000) != 0 || got.SetOf(0x5040) != 1 || got.SetOf(0x9999) != -1 {
+		t.Error("index not rebuilt after load")
+	}
+	// File round trip.
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not json"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Load(bytes.NewReader([]byte(`{"assoc":0,"line_bytes":64,"sets":[]}`))); err == nil {
+		t.Error("zero assoc accepted")
+	}
+	if _, err := Load(bytes.NewReader([]byte(`{"assoc":4,"line_bytes":64,"sets":[[]]}`))); err == nil {
+		t.Error("empty set accepted")
+	}
+}

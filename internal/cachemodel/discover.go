@@ -1,0 +1,292 @@
+// Package cachemodel reverse-engineers and exploits the DUT's L3 cache
+// behaviour, implementing §3.2 and §3.3 of the paper.
+//
+// Discovery treats the memory hierarchy as a black box that can only be
+// probed by timing pointer-chase loops: it grows an address set until the
+// probe time jumps by more than a contention threshold δ (the grown set
+// then holds α+1 addresses of some contention set C), shrinks it to
+// exactly those α+1 addresses, sweeps the remaining pool for further
+// members of C, and filters the result for consistency across simulated
+// reboots. The resulting Model is what CASTAN's symbolic pointer
+// concretization uses to pick addresses that maximize cache contention.
+package cachemodel
+
+import (
+	"fmt"
+	"sort"
+
+	"castan/internal/stats"
+)
+
+// Prober is the timing side-channel the discovery tool is allowed to use.
+// *memsim.Hierarchy satisfies it.
+type Prober interface {
+	// ProbeTime returns the cycles needed to sequentially read all addrs,
+	// rounds times, after a warm-up pass.
+	ProbeTime(addrs []uint64, rounds int) uint64
+	// Reboot re-randomizes the virtual→physical mapping.
+	Reboot(bootID uint64)
+}
+
+// ContentionSet is a group of line addresses that compete for the same L3
+// ways: bringing in more than Assoc of them evicts.
+type ContentionSet struct {
+	Addrs []uint64
+}
+
+// Model is the discovered cache model handed to CASTAN.
+type Model struct {
+	Assoc     int
+	LineBytes int
+	Sets      []ContentionSet
+
+	setOf map[uint64]int // line address -> index into Sets
+}
+
+// SetOf returns the contention-set index of a line address, or -1 if the
+// address was not covered by discovery.
+func (m *Model) SetOf(lineAddr uint64) int {
+	if idx, ok := m.setOf[lineAddr]; ok {
+		return idx
+	}
+	return -1
+}
+
+// buildIndex (re)builds the address index.
+func (m *Model) buildIndex() {
+	m.setOf = make(map[uint64]int)
+	for i, s := range m.Sets {
+		for _, a := range s.Addrs {
+			m.setOf[a] = i
+		}
+	}
+}
+
+// DiscoverConfig tunes discovery.
+type DiscoverConfig struct {
+	// Pool is the candidate line-aligned addresses (e.g. lines of the NF's
+	// tables). Discovery mutates a copy.
+	Pool []uint64
+	// Assoc is the (publicly documented) L3 associativity α.
+	Assoc int
+	// LineBytes is the cache line size.
+	LineBytes int
+	// LatL3 and LatDRAM are the publicly documented latencies used to set
+	// the contention threshold δ.
+	LatL3, LatDRAM uint64
+	// Rounds per probe (default 2).
+	Rounds int
+	// MaxSets stops discovery after this many contention sets (0 = all
+	// that can be found).
+	MaxSets int
+	// Reboots is the number of simulated reboots used by the consistency
+	// filter (default 3; 0 disables filtering).
+	Reboots int
+	// Seed drives the shuffled growth order.
+	Seed uint64
+}
+
+// Discover runs the §3.2 pipeline and returns the model.
+func Discover(p Prober, cfg DiscoverConfig) (*Model, error) {
+	if cfg.Assoc <= 0 {
+		return nil, fmt.Errorf("cachemodel: Assoc must be positive")
+	}
+	if len(cfg.Pool) == 0 {
+		return nil, fmt.Errorf("cachemodel: empty pool")
+	}
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 2
+	}
+	if cfg.Reboots == 0 {
+		cfg.Reboots = 3
+	}
+	d := &discoverer{p: p, cfg: cfg, rng: stats.NewRNG(cfg.Seed ^ 0xca57a)}
+	pool := append([]uint64(nil), cfg.Pool...)
+	d.rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+
+	model := &Model{Assoc: cfg.Assoc, LineBytes: cfg.LineBytes}
+	for cfg.MaxSets == 0 || len(model.Sets) < cfg.MaxSets {
+		set, rest, found := d.findOne(pool)
+		if !found {
+			break
+		}
+		model.Sets = append(model.Sets, ContentionSet{Addrs: set})
+		pool = rest
+	}
+	if len(model.Sets) == 0 {
+		return nil, fmt.Errorf("cachemodel: no contention sets found (pool of %d)", len(cfg.Pool))
+	}
+	d.filterConsistent(model)
+	if len(model.Sets) == 0 {
+		return nil, fmt.Errorf("cachemodel: all sets rejected by consistency filter")
+	}
+	for i := range model.Sets {
+		sort.Slice(model.Sets[i].Addrs, func(a, b int) bool {
+			return model.Sets[i].Addrs[a] < model.Sets[i].Addrs[b]
+		})
+	}
+	model.buildIndex()
+	return model, nil
+}
+
+type discoverer struct {
+	p   Prober
+	cfg DiscoverConfig
+	rng *stats.RNG
+}
+
+func (d *discoverer) probe(s []uint64) uint64 {
+	if len(s) == 0 {
+		return 0
+	}
+	return d.p.ProbeTime(s, d.cfg.Rounds)
+}
+
+// thresholds: growDelta detects "a chunk addition caused contention";
+// memberDelta detects "removing this address removed contention";
+// sweepDelta detects "swapping this address kept contention".
+func (d *discoverer) growDelta(chunk int) uint64 {
+	signal := uint64(d.cfg.Rounds) * uint64(d.cfg.Assoc+1) * (d.cfg.LatDRAM - d.cfg.LatL3) / 2
+	noise := uint64(d.cfg.Rounds) * uint64(chunk) * d.cfg.LatL3
+	return signal + noise
+}
+
+func (d *discoverer) memberDelta() uint64 {
+	return uint64(d.cfg.Rounds) * uint64(d.cfg.Assoc) * (d.cfg.LatDRAM - d.cfg.LatL3) / 2
+}
+
+func (d *discoverer) sweepDelta() uint64 {
+	return uint64(d.cfg.Rounds) * (d.cfg.LatDRAM + d.cfg.LatL3) / 2
+}
+
+// findOne runs steps (1)-(3) of §3.2 once: returns the α+1.. members of
+// one contention set and the pool with those members removed.
+func (d *discoverer) findOne(pool []uint64) (set []uint64, rest []uint64, found bool) {
+	chunk := d.cfg.Assoc / 2
+	if chunk < 2 {
+		chunk = 2
+	}
+	// Step 1: grow until the probe time jumps by more than δ.
+	var s []uint64
+	prev := uint64(0)
+	trigger := -1
+	for i := 0; i < len(pool); i += chunk {
+		end := i + chunk
+		if end > len(pool) {
+			end = len(pool)
+		}
+		s = pool[:end]
+		cur := d.probe(s)
+		if cur > prev && cur-prev > d.growDelta(end-i) {
+			// Binary-search the smallest prefix length m in (i, end] whose
+			// probe time jumps; the triggering address is pool[m-1].
+			jumps := func(m int) bool {
+				t := d.probe(pool[:m])
+				return t > prev && t-prev > d.growDelta(m-i)
+			}
+			lo, hi := i, end // jumps(lo) false (empty delta), jumps(hi) true
+			for hi-lo > 1 {
+				mid := (lo + hi) / 2
+				if jumps(mid) {
+					hi = mid
+				} else {
+					lo = mid
+				}
+			}
+			trigger = hi - 1
+			break
+		}
+		prev = cur
+	}
+	if trigger < 0 {
+		return nil, pool, false
+	}
+	s = append([]uint64(nil), pool[:trigger+1]...)
+
+	// Step 2: shrink s to exactly α+1 members of C: remove each address in
+	// turn; a drop of more than δ means it was a member (re-add it),
+	// otherwise leave it out permanently. Removing a member collapses the
+	// contention; removing a stray only saves its own hit cost.
+	full := d.probe(s)
+	for i := 0; i < len(s); {
+		without := make([]uint64, 0, len(s)-1)
+		without = append(without, s[:i]...)
+		without = append(without, s[i+1:]...)
+		t := d.probe(without)
+		if full > t && full-t > d.memberDelta() {
+			i++ // member of C: keep it
+		} else {
+			s, full = without, t // stray: drop permanently
+		}
+	}
+	members := s
+	if len(members) < d.cfg.Assoc+1 {
+		// The jump was noise (should not happen in the simulator, but be
+		// robust): drop the trigger address and let the caller continue.
+		rest = append(append([]uint64(nil), pool[:trigger]...), pool[trigger+1:]...)
+		return nil, rest, false
+	}
+
+	// Step 3: sweep the rest of the pool for further members of C:
+	// replace one member with the candidate; if the probe time stays
+	// high, the candidate belongs to C.
+	inSet := map[uint64]bool{}
+	for _, a := range members {
+		inSet[a] = true
+	}
+	base := d.probe(members)
+	swap := append([]uint64(nil), members...)
+	for _, a := range pool {
+		if inSet[a] {
+			continue
+		}
+		swap[0] = a
+		t := d.probe(swap)
+		if t+d.sweepDelta() > base {
+			members = append(members, a)
+			inSet[a] = true
+		}
+	}
+	swap[0] = members[0]
+
+	rest = make([]uint64, 0, len(pool)-len(members))
+	for _, a := range pool {
+		if !inSet[a] {
+			rest = append(rest, a)
+		}
+	}
+	return members, rest, true
+}
+
+// filterConsistent re-verifies every discovered set across simulated
+// reboots, dropping sets whose members stop contending (§3.2's
+// cross-reboot filter). Within a set, members that individually fail are
+// removed; a set shrinking below α+1 is dropped entirely.
+func (d *discoverer) filterConsistent(m *Model) {
+	if d.cfg.Reboots <= 0 {
+		return
+	}
+	kept := m.Sets[:0]
+	for si, set := range m.Sets {
+		ok := true
+		for r := 1; r <= d.cfg.Reboots; r++ {
+			d.p.Reboot(d.cfg.Seed + uint64(si*1000+r))
+			core := set.Addrs
+			if len(core) > d.cfg.Assoc+1 {
+				core = core[:d.cfg.Assoc+1]
+			}
+			t := d.probe(core)
+			// Contention signature: substantially more than all-hit time.
+			allHit := uint64(d.cfg.Rounds) * uint64(len(core)) * d.cfg.LatL3
+			if t < allHit+d.memberDelta() {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, set)
+		}
+	}
+	d.p.Reboot(d.cfg.Seed) // restore a defined mapping
+	m.Sets = kept
+}

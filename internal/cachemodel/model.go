@@ -1,0 +1,128 @@
+package cachemodel
+
+import (
+	"sort"
+)
+
+// Tracker is the symbex-side cache model state (§3.3): it remembers which
+// concrete lines have been placed on the current execution path and in
+// which contention set each lies, so that the next symbolic pointer can be
+// concretized into the most-contended compatible set. One Tracker exists
+// per symbolic-execution state; Clone supports state forking.
+type Tracker struct {
+	model *Model
+
+	// perSet[i] holds the distinct lines placed into contention set i.
+	perSet map[int][]uint64
+	placed map[uint64]bool // line addresses already accessed on this path
+	order  []uint64        // placement order of distinct lines
+}
+
+// NewTracker creates an empty tracker over the model.
+func (m *Model) NewTracker() *Tracker {
+	return &Tracker{
+		model:  m,
+		perSet: map[int][]uint64{},
+		placed: map[uint64]bool{},
+	}
+}
+
+// Clone deep-copies the tracker for a forked state.
+func (t *Tracker) Clone() *Tracker {
+	n := &Tracker{
+		model:  t.model,
+		perSet: make(map[int][]uint64, len(t.perSet)),
+		placed: make(map[uint64]bool, len(t.placed)),
+		order:  append([]uint64(nil), t.order...),
+	}
+	for k, v := range t.perSet {
+		n.perSet[k] = append([]uint64(nil), v...)
+	}
+	for k, v := range t.placed {
+		n.placed[k] = v
+	}
+	return n
+}
+
+// Model returns the underlying discovered model.
+func (t *Tracker) Model() *Model { return t.model }
+
+// line truncates an address to its cache line.
+func (t *Tracker) line(addr uint64) uint64 {
+	return addr &^ (uint64(t.model.LineBytes) - 1)
+}
+
+// Candidates returns, most-contended contention set first, the member
+// addresses that have not yet been placed on this path. The symbex engine
+// walks this list and picks the first address compatible with the path
+// constraint. Sets whose placement already reached α+1 keep priority —
+// each additional line deepens the thrash.
+func (t *Tracker) Candidates() []uint64 {
+	type scored struct {
+		set   int
+		count int
+	}
+	sets := make([]scored, 0, len(t.model.Sets))
+	for i := range t.model.Sets {
+		sets = append(sets, scored{set: i, count: len(t.perSet[i])})
+	}
+	sort.Slice(sets, func(a, b int) bool {
+		if sets[a].count != sets[b].count {
+			return sets[a].count > sets[b].count
+		}
+		return sets[a].set < sets[b].set
+	})
+	var out []uint64
+	for _, s := range sets {
+		for _, a := range t.model.Sets[s.set].Addrs {
+			if !t.placed[a] {
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+// RecordAccess informs the tracker that the path accessed addr, updating
+// contention bookkeeping, and returns the expected cycles class of the
+// access: true if it is expected to go to DRAM (cold line, or line in a
+// set thrashing beyond associativity), false if it is expected to hit.
+func (t *Tracker) RecordAccess(addr uint64) bool {
+	ln := t.line(addr)
+	first := !t.placed[ln]
+	t.placed[ln] = true
+	if first {
+		t.order = append(t.order, ln)
+	}
+	set := t.model.SetOf(ln)
+	if set >= 0 && first {
+		t.perSet[set] = append(t.perSet[set], ln)
+	}
+	if set >= 0 && len(t.perSet[set]) > t.model.Assoc {
+		return true // contention: the set thrashes on every access
+	}
+	return first
+}
+
+// HotLines returns the lines already accessed on this path, in placement
+// order. The symbex engine retries these when contention candidates are
+// incompatible: re-touching hot state (e.g. the same hash bucket) is the
+// locally-optimal choice for algorithmic attacks like collision chains.
+func (t *Tracker) HotLines() []uint64 {
+	return append([]uint64(nil), t.order...)
+}
+
+// ContendedSets reports how many contention sets have been pushed past
+// associativity on this path — the attack's progress metric.
+func (t *Tracker) ContendedSets() int {
+	n := 0
+	for i := range t.model.Sets {
+		if len(t.perSet[i]) > t.model.Assoc {
+			n++
+		}
+	}
+	return n
+}
+
+// PlacedLines returns the number of distinct lines recorded.
+func (t *Tracker) PlacedLines() int { return len(t.placed) }

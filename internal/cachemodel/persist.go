@@ -1,0 +1,74 @@
+package cachemodel
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Discovery is expensive (minutes of simulated probing in the paper's
+// setting), so models are persisted and reused across analysis runs —
+// the paper ships its reverse-engineered Xeon model the same way. The
+// format is plain JSON.
+
+// modelJSON is the serialized form.
+type modelJSON struct {
+	Assoc     int        `json:"assoc"`
+	LineBytes int        `json:"line_bytes"`
+	Sets      [][]uint64 `json:"sets"`
+}
+
+// Save writes the model to w as JSON.
+func (m *Model) Save(w io.Writer) error {
+	mj := modelJSON{Assoc: m.Assoc, LineBytes: m.LineBytes}
+	for _, s := range m.Sets {
+		mj.Sets = append(mj.Sets, s.Addrs)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(mj)
+}
+
+// SaveFile writes the model to a file.
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := m.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a model from JSON.
+func Load(r io.Reader) (*Model, error) {
+	var mj modelJSON
+	if err := json.NewDecoder(r).Decode(&mj); err != nil {
+		return nil, fmt.Errorf("cachemodel: decode: %w", err)
+	}
+	if mj.Assoc <= 0 || mj.LineBytes <= 0 {
+		return nil, fmt.Errorf("cachemodel: invalid model (assoc %d, line %d)", mj.Assoc, mj.LineBytes)
+	}
+	m := &Model{Assoc: mj.Assoc, LineBytes: mj.LineBytes}
+	for i, addrs := range mj.Sets {
+		if len(addrs) == 0 {
+			return nil, fmt.Errorf("cachemodel: empty set %d", i)
+		}
+		m.Sets = append(m.Sets, ContentionSet{Addrs: addrs})
+	}
+	m.buildIndex()
+	return m, nil
+}
+
+// LoadFile reads a model from a file.
+func LoadFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,482 @@
+// Package castan is the top of the stack: CASTAN, the Cycle Approximating
+// Symbolic Timing Analysis for Network Functions. Given a built NF
+// instance and a (black-box) memory hierarchy, it
+//
+//  1. reverse-engineers contention sets over the NF's tables by timed
+//     probing (§3.2, via internal/cachemodel),
+//  2. explores the NF with directed symbolic execution, steering symbolic
+//     pointers into contended cache sets and havocing hash functions
+//     (§3.1/§3.3/§3.4, via internal/symbex),
+//  3. picks the highest-cost completed state, reconciles havoced hashes
+//     with rainbow tables (§3.5, via internal/rainbow), and
+//  4. solves the path constraint into N concrete packets plus per-packet
+//     predicted performance metrics.
+package castan
+
+import (
+	"fmt"
+	"time"
+
+	"castan/internal/cachemodel"
+	"castan/internal/expr"
+	"castan/internal/icfg"
+	"castan/internal/interp"
+	"castan/internal/ir"
+	"castan/internal/memsim"
+	"castan/internal/nf"
+	"castan/internal/nfhash"
+	"castan/internal/packet"
+	"castan/internal/rainbow"
+	"castan/internal/solver"
+	"castan/internal/stats"
+	"castan/internal/symbex"
+)
+
+// Config tunes an analysis run.
+type Config struct {
+	// NPackets is the adversarial workload length (paper: 30-50).
+	NPackets int
+	// MaxStates is the exploration budget (the paper's time budget).
+	MaxStates int
+	// Seed drives discovery sampling.
+	Seed uint64
+	// DiscoverStride is the line-granularity sampling stride (in cache
+	// lines) used to build discovery pools: it models the partial coverage
+	// that survives the paper's cross-reboot consistency filtering.
+	// Default 8.
+	DiscoverStride int
+	// DiscoverPoolCap bounds the pool size per NF. Default 2600.
+	DiscoverPoolCap int
+	// DiscoverMaxSets bounds how many contention sets to discover.
+	// Default 6.
+	DiscoverMaxSets int
+	// NoCacheModel disables the cache model (ablation).
+	NoCacheModel bool
+	// CacheModel, when non-nil, is used instead of running discovery
+	// (e.g. a model persisted by cmd/contention -save).
+	CacheModel *cachemodel.Model
+	// NoRainbow disables havoc reconciliation (ablation).
+	NoRainbow bool
+	// RainbowCoverage multiplies the default table size. Default 8.
+	RainbowCoverage int
+	// MaxLoopIters caps symbolic loop unrolling per state.
+	MaxLoopIters int
+	// ICFGLoopBound is the M of §3.4: potential-cost estimation assumes
+	// every loop runs M-1 times. The paper uses M=2; our searcher keeps
+	// loop-heavy paths hot by over-estimating more aggressively (M=8 by
+	// default), which plays the role of the paper's always-deepen loop
+	// policy.
+	ICFGLoopBound int
+}
+
+func (c *Config) fill() {
+	if c.NPackets <= 0 {
+		c.NPackets = 30
+	}
+	if c.MaxStates <= 0 {
+		c.MaxStates = 12000
+	}
+	if c.DiscoverStride <= 0 {
+		c.DiscoverStride = 8
+	}
+	if c.DiscoverPoolCap <= 0 {
+		c.DiscoverPoolCap = 2600
+	}
+	if c.DiscoverMaxSets <= 0 {
+		c.DiscoverMaxSets = 6
+	}
+	if c.RainbowCoverage <= 0 {
+		c.RainbowCoverage = 8
+	}
+	if c.MaxLoopIters <= 0 {
+		c.MaxLoopIters = 96
+	}
+	if c.ICFGLoopBound <= 0 {
+		c.ICFGLoopBound = 8
+	}
+}
+
+// PacketMetrics is the per-packet prediction CASTAN emits alongside the
+// workload (the paper's "second file": per-packet CPU model metrics).
+type PacketMetrics struct {
+	Cycles uint64
+}
+
+// Output is a completed analysis.
+type Output struct {
+	NF     string
+	Frames [][]byte
+	// Predicted per-packet cycle costs along the chosen path.
+	Packets []PacketMetrics
+	// Instrs/Loads/Stores/ExpectDRAM/ExpectHit summarize the chosen path.
+	Instrs, Loads, Stores uint64
+	ExpectDRAM, ExpectHit uint64
+	// HavocsTotal and HavocsReconciled report §3.5's outcome.
+	HavocsTotal      int
+	HavocsReconciled int
+	// ContentionSetsFound is the discovery result size (0 = no model).
+	ContentionSetsFound int
+	// StatesExplored and AnalysisTime describe the effort (Table 4).
+	StatesExplored int
+	AnalysisTime   time.Duration
+}
+
+// Analyze runs the full CASTAN pipeline on a *freshly built* NF instance.
+// The hierarchy is only ever probed as a black box.
+func Analyze(inst *nf.Instance, hier *memsim.Hierarchy, cfg Config) (*Output, error) {
+	cfg.fill()
+	start := time.Now()
+
+	// Stage 1: empirical cache model over the NF's attack regions.
+	var model *cachemodel.Model
+	switch {
+	case cfg.NoCacheModel:
+	case cfg.CacheModel != nil:
+		model = cfg.CacheModel
+	case len(inst.AttackRegions) > 0:
+		model = discoverModel(inst, hier, cfg)
+	}
+
+	// Stage 2: directed symbolic execution. Realized costs use the
+	// realistic model; the search heuristic uses an optimistic one
+	// (memory at DRAM latency, loops assumed to run as often as there are
+	// packets), so the best-first queue surfaces worst-case paths first.
+	an, err := icfg.Analyze(inst.Mod, 2, icfg.DefaultCostModel())
+	if err != nil {
+		return nil, fmt.Errorf("castan: icfg: %w", err)
+	}
+	loopBound := cfg.ICFGLoopBound
+	if loopBound < cfg.NPackets+2 {
+		loopBound = cfg.NPackets + 2
+	}
+	potAn, err := icfg.Analyze(inst.Mod, loopBound, icfg.DefaultCostModel())
+	if err != nil {
+		return nil, fmt.Errorf("castan: icfg potential: %w", err)
+	}
+	eng := &symbex.Engine{
+		Mod:               inst.Mod,
+		Analysis:          an,
+		PotentialAnalysis: potAn,
+		Model:             model,
+		Base:              inst.Machine.Mem,
+		HeapTop:           ir.HeapBase + inst.Machine.HeapUsed(),
+		Cfg: symbex.Config{
+			Entry:        "nf_process",
+			NPackets:     cfg.NPackets,
+			PacketLen:    nf.SymbolicPacketLen,
+			MaxStates:    cfg.MaxStates,
+			MaxLoopIters: cfg.MaxLoopIters,
+		},
+	}
+	res, err := eng.Run()
+	if err != nil {
+		return nil, fmt.Errorf("castan: symbex: %w", err)
+	}
+	if res.Best == nil {
+		return nil, fmt.Errorf("castan: no state consumed all %d packets within budget", cfg.NPackets)
+	}
+
+	// Stage 3+4: reconcile havocs and solve, falling back to the next-best
+	// completed state if the best one resists solving.
+	var lastErr error
+	for _, st := range res.Completed {
+		out, err := concretize(inst, eng, st, cfg)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		out.ContentionSetsFound = modelSets(model)
+		out.StatesExplored = res.StatesExplored
+		out.AnalysisTime = time.Since(start)
+		return out, nil
+	}
+	return nil, fmt.Errorf("castan: no completed state solvable: %v", lastErr)
+}
+
+func modelSets(m *cachemodel.Model) int {
+	if m == nil {
+		return 0
+	}
+	return len(m.Sets)
+}
+
+// discoverModel builds the contention-set model over the instance's
+// attack regions. Discovery failure (e.g. a region too small to exceed
+// associativity anywhere in the sampled pool) simply yields no model —
+// the paper's LPM two-stage outcome.
+func discoverModel(inst *nf.Instance, hier *memsim.Hierarchy, cfg Config) *cachemodel.Model {
+	geo := hier.Geometry()
+	stride := uint64(cfg.DiscoverStride * geo.LineBytes)
+	var pool []uint64
+	for _, r := range inst.AttackRegions {
+		for a := r.Addr; a < r.Addr+r.Size; a += stride {
+			pool = append(pool, a)
+		}
+	}
+	if len(pool) == 0 {
+		return nil
+	}
+	// The pool budget is per region: an NF with several tables (the NAT's
+	// two rings) needs each discovered set to hold enough members *within
+	// each table* to exceed associativity there.
+	poolCap := cfg.DiscoverPoolCap * len(inst.AttackRegions)
+	if len(pool) > poolCap {
+		// Deterministic subsample.
+		rng := stats.NewRNG(cfg.Seed + 17)
+		rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+		pool = pool[:poolCap]
+	}
+	m, err := cachemodel.Discover(hier, cachemodel.DiscoverConfig{
+		Pool:      pool,
+		Assoc:     geo.L3Assoc(),
+		LineBytes: geo.LineBytes,
+		LatL3:     geo.LatL3,
+		LatDRAM:   geo.LatDRAM,
+		MaxSets:   cfg.DiscoverMaxSets,
+		Seed:      cfg.Seed,
+	})
+	if err != nil {
+		return nil
+	}
+	return m
+}
+
+// concretize reconciles the state's havocs and solves its constraints
+// into frames.
+func concretize(inst *nf.Instance, eng *symbex.Engine, st *symbex.State, cfg Config) (*Output, error) {
+	// The engine maintains the invariant that each state's cached model
+	// satisfies its constraints, so it is both the starting model and the
+	// hint for all reconciliation checks.
+	sol := solver.Solver{Hint: st.Model(), MaxSteps: 30000}
+	cons := append([]*expr.Expr(nil), st.Constraints()...)
+	mdl, err := sol.Solve(cons)
+	if err != nil {
+		return nil, fmt.Errorf("state %d: %w", st.ID, err)
+	}
+	sol.Hint = mdl
+
+	reconciled := 0
+	if !cfg.NoRainbow {
+		tables := buildRainbowTables(inst, cfg)
+		uses := map[int]nf.HashUse{}
+		for _, hu := range inst.Hashes {
+			uses[hu.HashID] = hu
+		}
+		pinnedVars := map[expr.VarID]bool{}
+		usedKeys := map[string]bool{}
+		for _, h := range st.Havocs {
+			hu, known := uses[h.HashID]
+			if !known {
+				continue
+			}
+			ok, extra := reconcileHavoc(&sol, cons, mdl, pinnedVars, usedKeys, h, hu, tables[h.HashID])
+			if ok {
+				cons = append(cons, extra...)
+				m2, err := sol.Solve(cons)
+				if err != nil {
+					// The pins conflicted after all; drop them.
+					cons = cons[:len(cons)-len(extra)]
+					continue
+				}
+				mdl = m2
+				sol.Hint = mdl
+				reconciled++
+				for _, ke := range h.Key {
+					ke.Vars(pinnedVars, nil)
+				}
+				for _, v := range h.OutVars {
+					pinnedVars[v] = true
+				}
+			}
+		}
+	}
+
+	frames := make([][]byte, eng.Cfg.NPackets)
+	for p := range frames {
+		frames[p] = frameFromModel(eng, mdl, p)
+	}
+	out := &Output{
+		NF:               inst.Name,
+		Frames:           frames,
+		Instrs:           st.Instrs,
+		Loads:            st.Loads,
+		Stores:           st.Stores,
+		ExpectDRAM:       st.ExpectDRAM,
+		ExpectHit:        st.ExpectHit,
+		HavocsTotal:      len(st.Havocs),
+		HavocsReconciled: reconciled,
+	}
+	for _, c := range st.PacketCosts {
+		out.Packets = append(out.Packets, PacketMetrics{Cycles: c})
+	}
+	return out, nil
+}
+
+// buildRainbowTables builds (and memoizes per process) one rainbow table
+// per havocable hash site.
+var rainbowCache = map[string]*rainbow.Table{}
+
+func buildRainbowTables(inst *nf.Instance, cfg Config) map[int]*rainbow.Table {
+	out := map[int]*rainbow.Table{}
+	for _, h := range inst.Hashes {
+		if h.Space == nil {
+			continue
+		}
+		key := fmt.Sprintf("%s/%d/%d/%T%v", inst.Name, h.HashID, h.Bits, h.Space, h.Space)
+		tbl, ok := rainbowCache[key]
+		if !ok {
+			rcfg := rainbow.DefaultConfig(h.Bits)
+			rcfg.Chains *= cfg.RainbowCoverage
+			var err error
+			tbl, err = rainbow.Build(h.Fn, h.Space, rcfg)
+			if err != nil {
+				continue
+			}
+			rainbowCache[key] = tbl
+		}
+		out[h.HashID] = tbl
+	}
+	return out
+}
+
+// reconcileHavoc implements §3.5's three-step reconciliation for one
+// havoc record: solve for the hash value the path wants, invert it with
+// the rainbow table, and re-check the preimage against the packet
+// constraints. Returns pin constraints on success.
+func reconcileHavoc(sol *solver.Solver, cons []*expr.Expr, mdl solver.Model, pinnedVars map[expr.VarID]bool, usedKeys map[string]bool, h symbex.HavocRecord, hu nf.HashUse, tbl *rainbow.Table) (bool, []*expr.Expr) {
+	if tbl == nil {
+		return false, nil
+	}
+	masked := nfhash.Masked(hu.Fn, hu.Bits)
+	// If every variable of the key was already pinned by earlier
+	// reconciliation, the real hash value is forced: reconciliation
+	// succeeds only if it matches what the path wants. This is exactly
+	// what fails for the NAT's second, related key (§5.4).
+	keyForced := true
+	for _, ke := range h.Key {
+		if ke.HasVars() {
+			for _, v := range ke.Vars(map[expr.VarID]bool{}, nil) {
+				if !pinnedVars[v] {
+					keyForced = false
+					break
+				}
+			}
+		}
+		if !keyForced {
+			break
+		}
+	}
+	want := h.Out.Eval(map[expr.VarID]uint64(mdl))
+
+	if keyForced {
+		keyBytes := make([]byte, len(h.Key))
+		for i, ke := range h.Key {
+			keyBytes[i] = byte(ke.Eval(map[expr.VarID]uint64(mdl)))
+		}
+		// The true hash value is forced; pinning Out to it stays
+		// satisfiable only if the path did not demand a different value.
+		real := masked(keyBytes)
+		pins := pinOut(h, real)
+		if solver.QuickFeasible(append(append([]*expr.Expr(nil), cons...), pins...)) == solver.Unsat {
+			return false, nil
+		}
+		if res, _ := sol.Check(append(append([]*expr.Expr(nil), cons...), pins...)); res == solver.Sat {
+			return true, pins
+		}
+		return false, nil
+	}
+
+	// Key still has free bytes: invert candidate hash values and test
+	// preimages against the constraints. Rainbow candidates come first;
+	// brute force (per §3.5: "brute-force methods augmented by the use of
+	// rainbow tables") fills in when the attack needs many distinct
+	// preimages of one value, as collision workloads do.
+	candidates := tbl.Invert(want, 16)
+	if len(candidates) < 16 {
+		// Finding one preimage costs ~2^bits random tries; budget for a
+		// handful, capped so wide hashes stay tractable.
+		budget := 8 << uint(hu.Bits)
+		if budget > 4<<20 {
+			budget = 4 << 20
+		}
+		candidates = append(candidates, tbl.BruteForce(want, 48, budget, want^uint64(h.Packet)*0x9e3779b9)...)
+	}
+	for _, key := range candidates {
+		if usedKeys[string(key)] {
+			continue // identical to an already-pinned key: flow uniqueness
+		}
+		pins := make([]*expr.Expr, 0, len(key)+len(h.OutVars))
+		ok := len(key) == len(h.Key)
+		for i, ke := range h.Key {
+			if !ok {
+				break
+			}
+			pins = append(pins, expr.Eq(ke, expr.Const(uint64(key[i]))))
+		}
+		if !ok {
+			continue
+		}
+		pins = append(pins, pinOut(h, want)...)
+		all := append(append([]*expr.Expr(nil), cons...), pins...)
+		if solver.QuickFeasible(all) == solver.Unsat {
+			continue
+		}
+		if res, _ := sol.Check(all); res == solver.Sat {
+			usedKeys[string(key)] = true
+			return true, pins
+		}
+	}
+	return false, nil
+}
+
+// pinOut pins the havoc's output variables to a concrete hash value.
+func pinOut(h symbex.HavocRecord, val uint64) []*expr.Expr {
+	pins := make([]*expr.Expr, 0, len(h.OutVars))
+	n := len(h.OutVars)
+	for i, v := range h.OutVars {
+		shift := uint((n - 1 - i) * 8)
+		pins = append(pins, expr.Eq(expr.Var(v), expr.Const((val>>shift)&0xff)))
+	}
+	return pins
+}
+
+// frameFromModel reconstructs a well-formed frame for packet p from the
+// solver model: the fields the NF observes are taken verbatim; cosmetic
+// fields (version, checksum, lengths) are normalized so the frame parses.
+func frameFromModel(eng *symbex.Engine, mdl solver.Model, p int) []byte {
+	byteAt := func(off int) uint64 { return mdl[eng.PacketVar(p, off)] & 0xff }
+	u16 := func(off int) uint16 { return uint16(byteAt(off))<<8 | uint16(byteAt(off+1)) }
+	u32 := func(off int) uint32 {
+		return uint32(byteAt(off))<<24 | uint32(byteAt(off+1))<<16 |
+			uint32(byteAt(off+2))<<8 | uint32(byteAt(off+3))
+	}
+	proto := packet.IPProto(byteAt(packet.OffIPProto))
+	if proto != packet.ProtoTCP {
+		proto = packet.ProtoUDP
+	}
+	return packet.Build(packet.Spec{
+		Proto:   proto,
+		SrcIP:   u32(packet.OffIPSrc),
+		DstIP:   u32(packet.OffIPDst),
+		SrcPort: u16(packet.OffL4SrcPort),
+		DstPort: u16(packet.OffL4DstPort),
+	})
+}
+
+// Validate replays the synthesized frames through a fresh instance of the
+// NF on the interpreter, returning the measured instruction count — a
+// cheap cross-check that the adversarial path is real.
+func Validate(name string, frames [][]byte) (uint64, error) {
+	inst, err := nf.New(name)
+	if err != nil {
+		return 0, err
+	}
+	var instrs uint64
+	inst.Machine.Hooks = interp.Hooks{OnInstr: func(*ir.Func, *ir.Instr) { instrs++ }}
+	for _, fr := range frames {
+		if _, err := inst.Process(fr); err != nil {
+			return instrs, err
+		}
+	}
+	return instrs, nil
+}

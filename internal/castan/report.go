@@ -1,0 +1,95 @@
+package castan
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"castan/internal/packet"
+)
+
+// The paper's tool emits two files per path: the concrete test (which we
+// export as PCAP via internal/pcap) and a per-packet CPU-model metrics
+// file used to "predict the performance envelope of each path". Report is
+// that second file, as JSON.
+
+// Report is the serializable analysis summary.
+type Report struct {
+	NF                  string         `json:"nf"`
+	Packets             []PacketReport `json:"packets"`
+	Instrs              uint64         `json:"instructions"`
+	Loads               uint64         `json:"loads"`
+	Stores              uint64         `json:"stores"`
+	ExpectDRAM          uint64         `json:"expected_dram_accesses"`
+	ExpectHit           uint64         `json:"expected_cache_hits"`
+	HavocsTotal         int            `json:"havocs_total"`
+	HavocsReconciled    int            `json:"havocs_reconciled"`
+	ContentionSetsFound int            `json:"contention_sets_found"`
+	StatesExplored      int            `json:"states_explored"`
+	AnalysisSeconds     float64        `json:"analysis_seconds"`
+}
+
+// PacketReport describes one synthesized packet.
+type PacketReport struct {
+	Index           int    `json:"index"`
+	Flow            string `json:"flow"`
+	PredictedCycles uint64 `json:"predicted_cycles"`
+}
+
+// Report builds the serializable summary of an Output.
+func (o *Output) Report() *Report {
+	r := &Report{
+		NF:                  o.NF,
+		Instrs:              o.Instrs,
+		Loads:               o.Loads,
+		Stores:              o.Stores,
+		ExpectDRAM:          o.ExpectDRAM,
+		ExpectHit:           o.ExpectHit,
+		HavocsTotal:         o.HavocsTotal,
+		HavocsReconciled:    o.HavocsReconciled,
+		ContentionSetsFound: o.ContentionSetsFound,
+		StatesExplored:      o.StatesExplored,
+		AnalysisSeconds:     o.AnalysisTime.Seconds(),
+	}
+	for i, fr := range o.Frames {
+		pr := PacketReport{Index: i}
+		if i < len(o.Packets) {
+			pr.PredictedCycles = o.Packets[i].Cycles
+		}
+		if p, err := packet.Parse(fr); err == nil {
+			pr.Flow = p.Tuple().String()
+		}
+		r.Packets = append(r.Packets, pr)
+	}
+	return r
+}
+
+// WriteReport serializes the report as indented JSON.
+func (o *Output) WriteReport(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(o.Report())
+}
+
+// WriteReportFile writes the report to a file.
+func (o *Output) WriteReportFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := o.WriteReport(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadReport loads a report back (for tooling that post-processes runs).
+func ReadReport(r io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("castan: decode report: %w", err)
+	}
+	return &rep, nil
+}

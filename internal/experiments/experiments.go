@@ -1,0 +1,461 @@
+// Package experiments reproduces the paper's evaluation (§5): every table
+// (1-5) and every figure (4-15) has a generator here that assembles the
+// workloads (including the CASTAN-synthesized and Manual adversarial
+// ones), runs the measurement campaign on the simulated testbed, and
+// renders the same rows/series the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"castan/internal/castan"
+	"castan/internal/memsim"
+	"castan/internal/nf"
+	"castan/internal/stats"
+	"castan/internal/testbed"
+	"castan/internal/workload"
+)
+
+// Config scales a campaign. The zero value reproduces the full evaluation;
+// tests use smaller workloads and budgets.
+type Config struct {
+	Seed uint64
+	// Packets is the Zipfian/UniRand workload size (default 65536).
+	Packets int
+	// ZipfUniverse is the Zipfian flow universe (default 4096).
+	ZipfUniverse int
+	// MeasureCap bounds measured packets per experiment (default 8192).
+	MeasureCap int
+	// CastanStates is CASTAN's exploration budget per NF (default 6000).
+	CastanStates int
+	// CastanPackets overrides the synthesized workload length per NF;
+	// missing entries use the paper's Table 4 sizes.
+	CastanPackets map[string]int
+}
+
+func (c *Config) fill() {
+	if c.Seed == 0 {
+		c.Seed = 2018
+	}
+	if c.Packets <= 0 {
+		c.Packets = workload.DefaultPackets
+	}
+	if c.ZipfUniverse <= 0 {
+		c.ZipfUniverse = workload.DefaultZipfUniverse
+	}
+	if c.MeasureCap <= 0 {
+		c.MeasureCap = 8192
+	}
+	if c.CastanStates <= 0 {
+		c.CastanStates = 6000
+	}
+}
+
+// PaperPackets is the paper's Table 4 workload sizes per NF.
+var PaperPackets = map[string]int{
+	"lb-chain":   30,
+	"lb-ring":    40,
+	"lb-rbtree":  30,
+	"lb-ubtree":  30,
+	"lpm-trie":   30,
+	"lpm-dl1":    40,
+	"lpm-dl2":    40,
+	"nat-chain":  30,
+	"nat-ring":   40,
+	"nat-rbtree": 35,
+	"nat-ubtree": 50,
+}
+
+// Campaign caches per-NF CASTAN outputs and measurements across the
+// tables and figures, which share them.
+type Campaign struct {
+	cfg  Config
+	opts testbed.Options
+
+	mu       sync.Mutex
+	outs     map[string]*castan.Output
+	outErrs  map[string]error
+	measures map[string]map[string]*testbed.Measurement
+	nop      *testbed.Measurement
+}
+
+// NewCampaign prepares a campaign.
+func NewCampaign(cfg Config) *Campaign {
+	cfg.fill()
+	return &Campaign{
+		cfg:      cfg,
+		opts:     testbed.Options{Seed: cfg.Seed, MeasureCap: cfg.MeasureCap},
+		outs:     map[string]*castan.Output{},
+		outErrs:  map[string]error{},
+		measures: map[string]map[string]*testbed.Measurement{},
+	}
+}
+
+// Castan returns (cached) the CASTAN analysis of the named NF.
+func (c *Campaign) Castan(nfName string) (*castan.Output, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if out, ok := c.outs[nfName]; ok {
+		return out, nil
+	}
+	if err, ok := c.outErrs[nfName]; ok {
+		return nil, err
+	}
+	inst, err := nf.New(nfName)
+	if err != nil {
+		return nil, err
+	}
+	np := c.cfg.CastanPackets[nfName]
+	if np == 0 {
+		np = PaperPackets[nfName]
+	}
+	if np == 0 {
+		np = 30
+	}
+	hier := memsim.New(c.opts.Geometry, c.cfg.Seed)
+	if c.opts.Geometry.LineBytes == 0 {
+		hier = memsim.New(memsim.DefaultGeometry(), c.cfg.Seed)
+	}
+	out, err := castan.Analyze(inst, hier, castan.Config{
+		NPackets:  np,
+		MaxStates: c.cfg.CastanStates,
+		Seed:      c.cfg.Seed,
+	})
+	if err != nil {
+		c.outErrs[nfName] = err
+		return nil, err
+	}
+	c.outs[nfName] = out
+	return out, nil
+}
+
+// Workloads assembles the full workload set for an NF: 1 Packet, Zipfian,
+// UniRand, UniRand CASTAN, CASTAN, and Manual where the paper crafted one.
+func (c *Campaign) Workloads(nfName string) ([]*workload.Workload, error) {
+	prof := workload.ProfileFor(nfName)
+	zipf, err := workload.Zipfian(prof, c.cfg.Packets, c.cfg.ZipfUniverse, c.cfg.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	out, err := c.Castan(nfName)
+	if err != nil {
+		return nil, fmt.Errorf("castan(%s): %w", nfName, err)
+	}
+	cw := workload.FromFrames("CASTAN", out.Frames)
+	list := []*workload.Workload{
+		workload.OnePacket(prof),
+		zipf,
+		workload.UniRand(prof, c.cfg.Packets, c.cfg.Seed+2),
+		workload.UniRandN(prof, len(out.Frames), c.cfg.Seed+3),
+		cw,
+	}
+	inst, err := nf.New(nfName)
+	if err != nil {
+		return nil, err
+	}
+	if inst.Manual != nil {
+		list = append(list, workload.FromFrames("Manual", inst.Manual(len(out.Frames))))
+	}
+	return list, nil
+}
+
+// Measure returns (cached) the measurement of one NF under one workload.
+func (c *Campaign) Measure(nfName string, wl *workload.Workload) (*testbed.Measurement, error) {
+	c.mu.Lock()
+	byWl, ok := c.measures[nfName]
+	if !ok {
+		byWl = map[string]*testbed.Measurement{}
+		c.measures[nfName] = byWl
+	}
+	if m, ok := byWl[wl.Name]; ok {
+		c.mu.Unlock()
+		return m, nil
+	}
+	c.mu.Unlock()
+	m, err := testbed.Measure(nfName, wl, c.opts)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	byWl[wl.Name] = m
+	c.mu.Unlock()
+	return m, nil
+}
+
+// MeasureAll measures every workload for an NF, returning them keyed by
+// workload name (plus the NOP baseline under "NOP").
+func (c *Campaign) MeasureAll(nfName string) (map[string]*testbed.Measurement, error) {
+	wls, err := c.Workloads(nfName)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]*testbed.Measurement{}
+	for _, wl := range wls {
+		m, err := c.Measure(nfName, wl)
+		if err != nil {
+			return nil, fmt.Errorf("measure %s/%s: %w", nfName, wl.Name, err)
+		}
+		out[wl.Name] = m
+	}
+	nop, err := c.NOP()
+	if err != nil {
+		return nil, err
+	}
+	out["NOP"] = nop
+	return out, nil
+}
+
+// NOP returns the cached NOP baseline measurement.
+func (c *Campaign) NOP() (*testbed.Measurement, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.nop != nil {
+		return c.nop, nil
+	}
+	nop, err := testbed.MeasureNOP(c.opts)
+	if err != nil {
+		return nil, err
+	}
+	c.nop = nop
+	return nop, nil
+}
+
+// Figure is one reproduced figure: named CDF series over a shared axis.
+type Figure struct {
+	ID     int
+	Title  string
+	XLabel string
+	Series map[string]*stats.CDF
+}
+
+// Render draws the figure as ASCII art.
+func (f *Figure) Render() string {
+	return stats.Render(fmt.Sprintf("Figure %d: %s", f.ID, f.Title), f.XLabel, f.Series, 72, 18)
+}
+
+// figureSpec maps paper figure numbers to NF and metric.
+var figureSpecs = map[int]struct {
+	nf     string
+	metric string // "latency" or "cycles"
+	title  string
+}{
+	4:  {"lpm-dl1", "latency", "End-to-end latency CDF for LPM with 1-stage Direct Lookup"},
+	5:  {"lpm-dl1", "cycles", "CPU reference cycles CDF for LPM with 1-stage Direct Lookup"},
+	6:  {"lpm-dl2", "latency", "End-to-end latency CDF for LPM with 2-stage Direct Lookup"},
+	7:  {"lpm-trie", "latency", "End-to-end latency CDF for LPM with a Patricia trie"},
+	8:  {"lpm-trie", "cycles", "CPU reference cycles CDF for LPM with a Patricia trie"},
+	9:  {"nat-ubtree", "latency", "End-to-end latency CDF for NAT with an unbalanced tree"},
+	10: {"nat-ubtree", "cycles", "CPU reference cycles CDF for NAT with an unbalanced tree"},
+	11: {"nat-rbtree", "latency", "End-to-end latency CDF for NAT with a red-black tree"},
+	12: {"lb-chain", "latency", "End-to-end latency CDF for LB with a hash table"},
+	13: {"lb-ring", "latency", "End-to-end latency CDF for LB with a hash ring"},
+	14: {"nat-chain", "latency", "End-to-end latency CDF for NAT with a hash table"},
+	15: {"nat-ring", "latency", "End-to-end latency CDF for NAT with a hash ring"},
+}
+
+// FigureIDs lists the reproducible figures in order.
+func FigureIDs() []int {
+	ids := make([]int, 0, len(figureSpecs))
+	for id := range figureSpecs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// FigureNF returns which NF a figure measures.
+func FigureNF(id int) string { return figureSpecs[id].nf }
+
+// Figure reproduces one paper figure.
+func (c *Campaign) Figure(id int) (*Figure, error) {
+	spec, ok := figureSpecs[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: no figure %d", id)
+	}
+	ms, err := c.MeasureAll(spec.nf)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{ID: id, Title: spec.title, Series: map[string]*stats.CDF{}}
+	for name, m := range ms {
+		if spec.metric == "cycles" {
+			fig.Series[name] = m.Cycles
+		} else {
+			fig.Series[name] = m.Latency
+		}
+	}
+	if spec.metric == "cycles" {
+		fig.XLabel = "reference clock cycles"
+	} else {
+		fig.XLabel = "latency (ns)"
+	}
+	return fig, nil
+}
+
+// Table is one reproduced table.
+type Table struct {
+	ID      int
+	Title   string
+	Columns []string
+	Rows    []TableRow
+}
+
+// TableRow is one row: a label plus one cell per column ("" = the paper
+// has no value there either).
+type TableRow struct {
+	Label string
+	Cells []string
+}
+
+// Render formats the table.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table %d: %s\n", t.ID, t.Title)
+	w := 11
+	fmt.Fprintf(&b, "%-16s", "")
+	for _, col := range t.Columns {
+		fmt.Fprintf(&b, "%*s", w, col)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-16s", r.Label)
+		for _, cell := range r.Cells {
+			fmt.Fprintf(&b, "%*s", w, cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TableNFs is the paper's column order for Tables 1-3 and 5.
+var TableNFs = []string{
+	"lpm-dl1", "lpm-dl2", "lpm-trie",
+	"lb-ubtree", "nat-ubtree", "lb-rbtree", "nat-rbtree",
+	"nat-chain", "lb-chain", "nat-ring", "lb-ring",
+}
+
+// workloadRows is the paper's row order.
+var workloadRows = []string{"NOP", "1 Packet", "Zipfian", "UniRand", "UniRand CASTAN", "CASTAN", "Manual"}
+
+// metricTable builds Tables 1-3: one row per workload, one column per NF.
+func (c *Campaign) metricTable(id int, title string, nfs []string, cell func(m *testbed.Measurement) string) (*Table, error) {
+	t := &Table{ID: id, Title: title, Columns: nfs}
+	rows := map[string]*TableRow{}
+	for _, w := range workloadRows {
+		rows[w] = &TableRow{Label: w, Cells: make([]string, len(nfs))}
+	}
+	for col, nfName := range nfs {
+		ms, err := c.MeasureAll(nfName)
+		if err != nil {
+			return nil, err
+		}
+		for _, w := range workloadRows {
+			if w == "NOP" {
+				nop, _ := c.NOP()
+				rows[w].Cells[col] = cell(nop)
+				continue
+			}
+			if m, ok := ms[w]; ok {
+				rows[w].Cells[col] = cell(m)
+			} else {
+				rows[w].Cells[col] = "-"
+			}
+		}
+	}
+	for _, w := range workloadRows {
+		t.Rows = append(t.Rows, *rows[w])
+	}
+	return t, nil
+}
+
+// Table1 reproduces "Maximum throughput measured for each NF under each
+// workload (Mpps)".
+func (c *Campaign) Table1(nfs []string) (*Table, error) {
+	if nfs == nil {
+		nfs = TableNFs
+	}
+	return c.metricTable(1, "Maximum throughput (Mpps)", nfs, func(m *testbed.Measurement) string {
+		return fmt.Sprintf("%.2f", m.ThroughputMpps)
+	})
+}
+
+// Table2 reproduces "Median instructions retired per packet".
+func (c *Campaign) Table2(nfs []string) (*Table, error) {
+	if nfs == nil {
+		nfs = TableNFs
+	}
+	return c.metricTable(2, "Median instructions retired per packet", nfs, func(m *testbed.Measurement) string {
+		return fmt.Sprintf("%.0f", m.Instrs.Median())
+	})
+}
+
+// Table3 reproduces "Median L3 misses per packet".
+func (c *Campaign) Table3(nfs []string) (*Table, error) {
+	if nfs == nil {
+		nfs = TableNFs
+	}
+	return c.metricTable(3, "Median L3 misses per packet", nfs, func(m *testbed.Measurement) string {
+		return fmt.Sprintf("%.0f", m.L3Misses.Median())
+	})
+}
+
+// Table4 reproduces "List of NFs, indicating how many packets we generated
+// and the analysis run time".
+func (c *Campaign) Table4(nfs []string) (*Table, error) {
+	if nfs == nil {
+		nfs = TableNFs
+	}
+	t := &Table{ID: 4, Title: "CASTAN workload sizes and analysis time", Columns: []string{"# Packets", "Time (s)", "States", "Havocs"}}
+	for _, nfName := range nfs {
+		out, err := c.Castan(nfName)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, TableRow{
+			Label: nfName,
+			Cells: []string{
+				fmt.Sprintf("%d", len(out.Frames)),
+				fmt.Sprintf("%.1f", out.AnalysisTime.Seconds()),
+				fmt.Sprintf("%d", out.StatesExplored),
+				fmt.Sprintf("%d/%d", out.HavocsReconciled, out.HavocsTotal),
+			},
+		})
+	}
+	return t, nil
+}
+
+// Table5 reproduces "Median latency deviation from NOP (ns)" for Zipfian,
+// Manual and CASTAN.
+func (c *Campaign) Table5(nfs []string) (*Table, error) {
+	if nfs == nil {
+		nfs = TableNFs
+	}
+	t := &Table{ID: 5, Title: "Median latency deviation from NOP (ns)", Columns: []string{"Zipfian", "Manual", "CASTAN"}}
+	nop, err := c.NOP()
+	if err != nil {
+		return nil, err
+	}
+	for _, nfName := range nfs {
+		ms, err := c.MeasureAll(nfName)
+		if err != nil {
+			return nil, err
+		}
+		cells := make([]string, 3)
+		for i, w := range []string{"Zipfian", "Manual", "CASTAN"} {
+			if m, ok := ms[w]; ok {
+				cells[i] = fmt.Sprintf("%.0f", m.MedianDeviation(nop))
+			} else {
+				cells[i] = "-"
+			}
+		}
+		t.Rows = append(t.Rows, TableRow{Label: nfName, Cells: cells})
+	}
+	return t, nil
+}
+
+// Elapsed is a small helper for progress reporting in the binaries.
+func Elapsed(start time.Time) string { return time.Since(start).Round(time.Millisecond).String() }

@@ -1,0 +1,273 @@
+package expr
+
+import "math/bits"
+
+// hdStart returns the starting mask for the Hacker's Delight interval
+// loops: bits above the highest set bit of any operand bound can never
+// trigger, so starting at the MSB (instead of bit 63) makes the loops
+// proportional to the operands' width — most values here are bytes.
+func hdStart(v uint64) uint64 {
+	if v == 0 {
+		return 0
+	}
+	return uint64(1) << (63 - bits.LeadingZeros64(v))
+}
+
+// Interval is an unsigned 64-bit range [Lo, Hi]. Intervals are used by the
+// solver to prune infeasible partial assignments cheaply and by the
+// symbolic pointer concretizer to bound candidate addresses.
+type Interval struct {
+	Lo, Hi uint64
+}
+
+// Full is the unconstrained interval.
+var Full = Interval{0, ^uint64(0)}
+
+// Contains reports whether v lies in the interval.
+func (iv Interval) Contains(v uint64) bool { return v >= iv.Lo && v <= iv.Hi }
+
+// Singleton reports whether the interval pins exactly one value.
+func (iv Interval) Singleton() (uint64, bool) {
+	if iv.Lo == iv.Hi {
+		return iv.Lo, true
+	}
+	return 0, false
+}
+
+// Empty reports whether the interval contains no values (Lo > Hi).
+func (iv Interval) Empty() bool { return iv.Lo > iv.Hi }
+
+// Intersect returns the intersection (possibly empty).
+func (iv Interval) Intersect(o Interval) Interval {
+	lo, hi := iv.Lo, iv.Hi
+	if o.Lo > lo {
+		lo = o.Lo
+	}
+	if o.Hi < hi {
+		hi = o.Hi
+	}
+	return Interval{lo, hi}
+}
+
+// Range computes a sound over-approximation of e's value range under a
+// partial assignment: variables present in vals are pinned; others range
+// over [0,255]. Soundness means the true value always lies within the
+// returned interval; precision is best-effort (wrap-around falls back to
+// Full).
+func Range(e *Expr, vals map[VarID]uint64) Interval {
+	switch e.Op {
+	case OpConst:
+		return Interval{e.Val, e.Val}
+	case OpVar:
+		if v, ok := vals[e.Var]; ok {
+			v &= 0xff
+			return Interval{v, v}
+		}
+		return Interval{0, 255}
+	case OpIte:
+		c := Range(e.A, vals)
+		if v, ok := c.Singleton(); ok {
+			if v != 0 {
+				return Range(e.B, vals)
+			}
+			return Range(e.C, vals)
+		}
+		t, f := Range(e.B, vals), Range(e.C, vals)
+		lo, hi := t.Lo, t.Hi
+		if f.Lo < lo {
+			lo = f.Lo
+		}
+		if f.Hi > hi {
+			hi = f.Hi
+		}
+		return Interval{lo, hi}
+	}
+	a := Range(e.A, vals)
+	b := Range(e.B, vals)
+	switch e.Op {
+	case OpAdd:
+		lo, hi := a.Lo+b.Lo, a.Hi+b.Hi
+		if hi < a.Hi || lo > hi { // wrapped
+			return Full
+		}
+		return Interval{lo, hi}
+	case OpSub:
+		if a.Lo >= b.Hi {
+			return Interval{a.Lo - b.Hi, a.Hi - b.Lo}
+		}
+		return Full
+	case OpMul:
+		if a.Hi == 0 || b.Hi == 0 {
+			return Interval{0, 0}
+		}
+		hi := a.Hi * b.Hi
+		if a.Hi != 0 && hi/a.Hi != b.Hi { // overflow
+			return Full
+		}
+		return Interval{a.Lo * b.Lo, hi}
+	case OpAnd:
+		return Interval{minAND(a.Lo, a.Hi, b.Lo, b.Hi), maxAND(a.Lo, a.Hi, b.Lo, b.Hi)}
+	case OpOr:
+		return Interval{minOR(a.Lo, a.Hi, b.Lo, b.Hi), maxOR(a.Lo, a.Hi, b.Lo, b.Hi)}
+	case OpXor:
+		// x^y <= x|y, and the OR bound is cheap and sound.
+		return Interval{0, maxOR(a.Lo, a.Hi, b.Lo, b.Hi)}
+	case OpShl:
+		if s, ok := b.Singleton(); ok {
+			if s >= 64 {
+				return Interval{0, 0}
+			}
+			hi := a.Hi << s
+			if hi>>s != a.Hi {
+				return Full
+			}
+			return Interval{a.Lo << s, hi}
+		}
+		return Full
+	case OpLshr:
+		if s, ok := b.Singleton(); ok {
+			if s >= 64 {
+				return Interval{0, 0}
+			}
+			return Interval{a.Lo >> s, a.Hi >> s}
+		}
+		return Interval{0, a.Hi}
+	case OpUDiv:
+		if bs, ok := b.Singleton(); ok && bs != 0 {
+			return Interval{a.Lo / bs, a.Hi / bs}
+		}
+		return Interval{0, a.Hi}
+	case OpURem:
+		if bs, ok := b.Singleton(); ok && bs != 0 {
+			if a.Hi < bs {
+				return a
+			}
+			return Interval{0, bs - 1}
+		}
+		return Interval{0, a.Hi}
+	case OpEq:
+		if a.Hi < b.Lo || b.Hi < a.Lo {
+			return Interval{0, 0} // disjoint: cannot be equal
+		}
+		if as, ok := a.Singleton(); ok {
+			if bs, ok2 := b.Singleton(); ok2 {
+				return Interval{b2u(as == bs), b2u(as == bs)}
+			}
+		}
+		return Interval{0, 1}
+	case OpNe:
+		if a.Hi < b.Lo || b.Hi < a.Lo {
+			return Interval{1, 1}
+		}
+		if as, ok := a.Singleton(); ok {
+			if bs, ok2 := b.Singleton(); ok2 {
+				return Interval{b2u(as != bs), b2u(as != bs)}
+			}
+		}
+		return Interval{0, 1}
+	case OpUlt:
+		if a.Hi < b.Lo {
+			return Interval{1, 1}
+		}
+		if a.Lo >= b.Hi {
+			return Interval{0, 0}
+		}
+		return Interval{0, 1}
+	case OpUle:
+		if a.Hi <= b.Lo {
+			return Interval{1, 1}
+		}
+		if a.Lo > b.Hi {
+			return Interval{0, 0}
+		}
+		return Interval{0, 1}
+	}
+	return Full
+}
+
+// The four functions below compute tight bounds for bitwise OR/AND of two
+// independent intervals [a,b] and [c,d] (Hacker's Delight, section 4-3).
+
+func minOR(a, b, c, d uint64) uint64 {
+	m := hdStart(b | d)
+	for m != 0 {
+		if ^a&c&m != 0 {
+			t := (a | m) &^ (m - 1)
+			if t <= b {
+				a = t
+				break
+			}
+		} else if a&^c&m != 0 {
+			t := (c | m) &^ (m - 1)
+			if t <= d {
+				c = t
+				break
+			}
+		}
+		m >>= 1
+	}
+	return a | c
+}
+
+func maxOR(a, b, c, d uint64) uint64 {
+	m := hdStart(b & d)
+	for m != 0 {
+		if b&d&m != 0 {
+			t := (b - m) | (m - 1)
+			if t >= a {
+				b = t
+				break
+			}
+			t = (d - m) | (m - 1)
+			if t >= c {
+				d = t
+				break
+			}
+		}
+		m >>= 1
+	}
+	return b | d
+}
+
+func minAND(a, b, c, d uint64) uint64 {
+	// Above msb(b|d), (a|m) exceeds b and (c|m) exceeds d, so nothing
+	// can change: start at the operands' width.
+	m := hdStart(b | d)
+	for m != 0 {
+		if ^a&^c&m != 0 {
+			t := (a | m) &^ (m - 1)
+			if t <= b {
+				a = t
+				break
+			}
+			t = (c | m) &^ (m - 1)
+			if t <= d {
+				c = t
+				break
+			}
+		}
+		m >>= 1
+	}
+	return a & c
+}
+
+func maxAND(a, b, c, d uint64) uint64 {
+	m := hdStart(b | d)
+	for m != 0 {
+		if b&^d&m != 0 {
+			t := (b &^ m) | (m - 1)
+			if t >= a {
+				b = t
+				break
+			}
+		} else if ^b&d&m != 0 {
+			t := (d &^ m) | (m - 1)
+			if t >= c {
+				d = t
+				break
+			}
+		}
+		m >>= 1
+	}
+	return b & d
+}

@@ -1,0 +1,248 @@
+package icfg
+
+import (
+	"testing"
+
+	"castan/internal/ir"
+)
+
+func mustAnalyze(t *testing.T, m *ir.Module, M int) *Analysis {
+	t.Helper()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(m, M, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestInstrCosts(t *testing.T) {
+	cm := DefaultCostModel()
+	if cm.InstrCost(&ir.Instr{Op: ir.OpBin, Bin: ir.Mul}) <= cm.InstrCost(&ir.Instr{Op: ir.OpBin, Bin: ir.Add}) {
+		t.Error("mul should cost more than add")
+	}
+	if cm.InstrCost(&ir.Instr{Op: ir.OpBin, Bin: ir.UDiv}) <= cm.InstrCost(&ir.Instr{Op: ir.OpBin, Bin: ir.Mul}) {
+		t.Error("div should cost more than mul")
+	}
+	if cm.InstrCost(&ir.Instr{Op: ir.OpLoad}) != cm.MemL1 {
+		t.Error("load cost should be MemL1")
+	}
+}
+
+func TestStraightLineSummary(t *testing.T) {
+	m := ir.NewModule("s")
+	m.Layout()
+	fb := m.NewFunc("f", 1)
+	x := fb.Param(0)
+	y := fb.AddImm(x, 1) // const + add
+	fb.Ret(y)
+	fb.Seal()
+	a := mustAnalyze(t, m, 2)
+	cm := DefaultCostModel()
+	want := cm.Mov + cm.Arith + cm.Call // const, add, ret
+	if got := a.Summary(m.Funcs["f"]); got != want {
+		t.Errorf("summary = %d, want %d", got, want)
+	}
+}
+
+func TestBranchTakesMax(t *testing.T) {
+	m := ir.NewModule("b")
+	m.Layout()
+	fb := m.NewFunc("f", 1)
+	x := fb.Param(0)
+	out := fb.VarImm(0)
+	fb.If(fb.CmpEqImm(x, 0),
+		func() { out.Set(fb.AddImm(x, 1)) }, // cheap arm
+		func() {
+			// expensive arm: several multiplications
+			v := fb.MulImm(x, 3)
+			v = fb.MulImm(v, 5)
+			v = fb.MulImm(v, 7)
+			out.Set(v)
+		})
+	fb.Ret(out.R())
+	fb.Seal()
+	a := mustAnalyze(t, m, 2)
+	f := m.Funcs["f"]
+	// The summary must reflect the expensive arm: at least 3 muls.
+	if a.Summary(f) < 3*DefaultCostModel().Mul {
+		t.Errorf("summary %d ignores expensive arm", a.Summary(f))
+	}
+	// Potential at function entry equals the summary.
+	if a.Potential(f.Entry(), 0) < a.Summary(f) {
+		t.Errorf("entry potential %d < summary %d", a.Potential(f.Entry(), 0), a.Summary(f))
+	}
+}
+
+func TestLoopBoundedByM(t *testing.T) {
+	build := func() *ir.Module {
+		m := ir.NewModule("l")
+		m.Layout()
+		fb := m.NewFunc("f", 1)
+		n := fb.Param(0)
+		i := fb.VarImm(0)
+		acc := fb.VarImm(0)
+		fb.While(func() ir.Reg { return fb.CmpUlt(i.R(), n) }, func() {
+			acc.Set(fb.Add(acc.R(), fb.MulImm(i.R(), 3)))
+			i.Set(fb.AddImm(i.R(), 1))
+		})
+		fb.Ret(acc.R())
+		fb.Seal()
+		return m
+	}
+	m2 := build()
+	a2 := mustAnalyze(t, m2, 2)
+	m3 := build()
+	a3 := mustAnalyze(t, m3, 3)
+	s2 := a2.Summary(m2.Funcs["f"])
+	s3 := a3.Summary(m3.Funcs["f"])
+	if s2 == 0 || s3 == 0 {
+		t.Fatal("zero summaries")
+	}
+	if s3 <= s2 {
+		t.Errorf("M=3 summary %d should exceed M=2 summary %d (one more loop round)", s3, s2)
+	}
+	// Loop head detected.
+	f := m2.Funcs["f"]
+	heads := 0
+	for _, b := range f.Blocks {
+		if a2.IsLoopHead(b) {
+			heads++
+		}
+	}
+	if heads != 1 {
+		t.Errorf("loop heads = %d, want 1", heads)
+	}
+}
+
+func TestCalleeSummaryEmbedded(t *testing.T) {
+	m := ir.NewModule("c")
+	m.Layout()
+	hb := m.NewFunc("helper", 1)
+	x := hb.Param(0)
+	v := hb.MulImm(x, 3)
+	v = hb.MulImm(v, 5)
+	hb.Ret(v)
+	hb.Seal()
+	cb := m.NewFunc("caller", 1)
+	cb.Ret(cb.Call(hb.Func(), cb.Param(0)))
+	cb.Seal()
+	a := mustAnalyze(t, m, 2)
+	if a.Summary(m.Funcs["caller"]) <= a.Summary(m.Funcs["helper"]) {
+		t.Errorf("caller summary %d should exceed helper summary %d",
+			a.Summary(m.Funcs["caller"]), a.Summary(m.Funcs["helper"]))
+	}
+}
+
+func TestPotentialDecreasesAlongBlock(t *testing.T) {
+	m := ir.NewModule("p")
+	m.Layout()
+	fb := m.NewFunc("f", 1)
+	x := fb.Param(0)
+	v := fb.MulImm(x, 3)
+	v = fb.MulImm(v, 5)
+	v = fb.MulImm(v, 7)
+	fb.Ret(v)
+	fb.Seal()
+	a := mustAnalyze(t, m, 2)
+	f := m.Funcs["f"]
+	entry := f.Entry()
+	prev := a.Potential(entry, 0)
+	for pc := 1; pc < len(entry.Instrs); pc++ {
+		cur := a.Potential(entry, pc)
+		if cur > prev {
+			t.Errorf("potential increased along straight line at pc %d: %d > %d", pc, cur, prev)
+		}
+		prev = cur
+	}
+	if a.Potential(entry, len(entry.Instrs)+5) != a.Potential(entry, len(entry.Instrs)) {
+		t.Error("out-of-range pc not clamped")
+	}
+}
+
+func TestAnalyzeRejectsBadM(t *testing.T) {
+	m := ir.NewModule("x")
+	m.Layout()
+	fb := m.NewFunc("f", 0)
+	fb.RetImm(0)
+	fb.Seal()
+	if _, err := Analyze(m, 0, DefaultCostModel()); err == nil {
+		t.Error("M=0 accepted")
+	}
+}
+
+func TestUnknownFuncQueries(t *testing.T) {
+	m := ir.NewModule("k")
+	m.Layout()
+	fb := m.NewFunc("f", 0)
+	fb.RetImm(0)
+	fb.Seal()
+	a := mustAnalyze(t, m, 2)
+	other := ir.NewModule("o")
+	other.Layout()
+	ob := other.NewFunc("g", 0)
+	ob.RetImm(0)
+	g := ob.Seal()
+	if a.Summary(g) != 0 || a.BlockCost(g.Entry()) != 0 || a.Potential(g.Entry(), 0) != 0 {
+		t.Error("foreign function queries should return 0")
+	}
+	if a.IsLoopHead(g.Entry()) {
+		t.Error("foreign block is not a loop head")
+	}
+}
+
+func TestHavocAndAllocCosts(t *testing.T) {
+	cm := DefaultCostModel()
+	if cm.InstrCost(&ir.Instr{Op: ir.OpHavoc}) != cm.Havoc {
+		t.Error("havoc cost")
+	}
+	if cm.InstrCost(&ir.Instr{Op: ir.OpAlloc}) != cm.Alloc {
+		t.Error("alloc cost")
+	}
+	if cm.InstrCost(&ir.Instr{Op: ir.OpCall}) != cm.Call {
+		t.Error("call cost")
+	}
+}
+
+func TestPotentialReflectsLoopBody(t *testing.T) {
+	// Potential at a loop head must grow with M (more assumed rounds).
+	build := func() (*ir.Module, *ir.Func) {
+		m := ir.NewModule("p2")
+		m.Layout()
+		fb := m.NewFunc("f", 1)
+		n := fb.Param(0)
+		i := fb.VarImm(0)
+		fb.While(func() ir.Reg { return fb.CmpUlt(i.R(), n) }, func() {
+			i.Set(fb.AddImm(i.R(), 1))
+		})
+		fb.Ret(i.R())
+		f := fb.Seal()
+		return m, f
+	}
+	m2, f2 := build()
+	a2 := mustAnalyze(t, m2, 2)
+	m8, f8 := build()
+	a8 := mustAnalyze(t, m8, 8)
+	var head2, head8 *ir.Block
+	for _, b := range f2.Blocks {
+		if a2.IsLoopHead(b) {
+			head2 = b
+		}
+	}
+	for _, b := range f8.Blocks {
+		if a8.IsLoopHead(b) {
+			head8 = b
+		}
+	}
+	if head2 == nil || head8 == nil {
+		t.Fatal("no loop heads found")
+	}
+	if a8.Potential(head8, 0) <= a2.Potential(head2, 0) {
+		t.Errorf("M=8 head potential %d not above M=2 %d",
+			a8.Potential(head8, 0), a2.Potential(head2, 0))
+	}
+	_ = m2
+	_ = m8
+}

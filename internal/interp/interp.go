@@ -1,0 +1,181 @@
+package interp
+
+import (
+	"errors"
+	"fmt"
+
+	"castan/internal/ir"
+)
+
+// MemAccess describes one load or store, delivered to the OnMem hook.
+type MemAccess struct {
+	Addr    uint64
+	Size    uint8
+	IsWrite bool
+}
+
+// Hooks receive execution events. Nil hooks are skipped. The testbed uses
+// OnInstr for cycle accounting and OnMem to drive the cache simulator.
+type Hooks struct {
+	OnInstr func(fn *ir.Func, in *ir.Instr)
+	OnMem   func(a MemAccess)
+}
+
+// ErrStepBudget is returned when execution exceeds the configured budget,
+// which in a validated NF indicates a runaway loop.
+var ErrStepBudget = errors.New("interp: step budget exhausted")
+
+// Machine executes functions of one module against one memory.
+type Machine struct {
+	Mod   *ir.Module
+	Mem   *Memory
+	Hooks Hooks
+
+	// MaxSteps bounds instructions per Call; 0 means DefaultMaxSteps.
+	MaxSteps int
+
+	heapTop uint64
+	steps   int
+}
+
+// DefaultMaxSteps bounds a single Call.
+const DefaultMaxSteps = 50_000_000
+
+// NewMachine creates a machine for the module with fresh memory and
+// initializes the heap pointer. Module must be laid out and validated.
+func NewMachine(mod *ir.Module) *Machine {
+	return &Machine{Mod: mod, Mem: NewMemory(), heapTop: ir.HeapBase}
+}
+
+// HeapUsed reports bytes handed out by OpAlloc.
+func (m *Machine) HeapUsed() uint64 { return m.heapTop - ir.HeapBase }
+
+// Alloc reserves size bytes on the machine heap (64-byte aligned), for
+// Go-side setup code that needs memory the IR will later traverse.
+func (m *Machine) Alloc(size uint64) uint64 {
+	addr := (m.heapTop + 63) &^ 63
+	m.heapTop = addr + size
+	return addr
+}
+
+// Call runs the named function with the given arguments and returns its
+// return value. The per-call step budget guards against runaway loops.
+func (m *Machine) Call(name string, args ...uint64) (uint64, error) {
+	fn := m.Mod.Funcs[name]
+	if fn == nil {
+		return 0, fmt.Errorf("interp: no function %q", name)
+	}
+	m.steps = 0
+	return m.run(fn, args)
+}
+
+func (m *Machine) budget() int {
+	if m.MaxSteps > 0 {
+		return m.MaxSteps
+	}
+	return DefaultMaxSteps
+}
+
+func (m *Machine) run(fn *ir.Func, args []uint64) (uint64, error) {
+	if len(args) != fn.NumParams {
+		return 0, fmt.Errorf("interp: %s expects %d args, got %d", fn.Name, fn.NumParams, len(args))
+	}
+	regs := make([]uint64, fn.NumRegs)
+	copy(regs, args)
+	blk := fn.Entry()
+	pc := 0
+	for {
+		if pc >= len(blk.Instrs) {
+			return 0, fmt.Errorf("interp: fell off block %s/%s", fn.Name, blk.Name)
+		}
+		in := blk.Instrs[pc]
+		m.steps++
+		if m.steps > m.budget() {
+			return 0, ErrStepBudget
+		}
+		if m.Hooks.OnInstr != nil {
+			m.Hooks.OnInstr(fn, in)
+		}
+		switch in.Op {
+		case ir.OpConst:
+			regs[in.Dst] = in.Imm
+		case ir.OpMov:
+			regs[in.Dst] = regs[in.A]
+		case ir.OpBin:
+			regs[in.Dst] = in.Bin.Eval(regs[in.A], regs[in.B])
+		case ir.OpCmp:
+			regs[in.Dst] = in.Pred.Eval(regs[in.A], regs[in.B])
+		case ir.OpSelect:
+			if regs[in.A] != 0 {
+				regs[in.Dst] = regs[in.B]
+			} else {
+				regs[in.Dst] = regs[in.C]
+			}
+		case ir.OpLoad:
+			addr := regs[in.A] + in.Imm
+			if m.Hooks.OnMem != nil {
+				m.Hooks.OnMem(MemAccess{Addr: addr, Size: in.Size})
+			}
+			regs[in.Dst] = m.Mem.Read(addr, in.Size)
+		case ir.OpStore:
+			addr := regs[in.A] + in.Imm
+			if m.Hooks.OnMem != nil {
+				m.Hooks.OnMem(MemAccess{Addr: addr, Size: in.Size, IsWrite: true})
+			}
+			m.Mem.Write(addr, regs[in.B], in.Size)
+		case ir.OpBr:
+			blk, pc = in.Blk0, 0
+			continue
+		case ir.OpCondBr:
+			if regs[in.A] != 0 {
+				blk = in.Blk0
+			} else {
+				blk = in.Blk1
+			}
+			pc = 0
+			continue
+		case ir.OpCall:
+			callArgs := make([]uint64, len(in.Args))
+			for i, a := range in.Args {
+				callArgs[i] = regs[a]
+			}
+			ret, err := m.run(in.Callee, callArgs)
+			if err != nil {
+				return 0, err
+			}
+			if in.Dst != ir.NoReg {
+				regs[in.Dst] = ret
+			}
+		case ir.OpRet:
+			if in.A == ir.NoReg {
+				return 0, nil
+			}
+			return regs[in.A], nil
+		case ir.OpAlloc:
+			regs[in.Dst] = m.Alloc(regs[in.A])
+		case ir.OpHavoc:
+			h := m.Mod.Hashes[in.HashID]
+			key := make([]byte, in.Imm)
+			m.Mem.ReadBytes(regs[in.A], key)
+			// The key bytes flow through the hash; account the reads so
+			// the cache simulator sees them like any other access.
+			if m.Hooks.OnMem != nil {
+				for off := uint64(0); off < in.Imm; off += 8 {
+					sz := in.Imm - off
+					if sz > 8 {
+						sz = 8
+					}
+					m.Hooks.OnMem(MemAccess{Addr: regs[in.A] + off, Size: uint8(sz)})
+				}
+			}
+			mask := uint64(1)<<uint(h.Bits) - 1
+			if h.Bits >= 64 {
+				mask = ^uint64(0)
+			}
+			regs[in.Dst] = h.Fn(key) & mask
+		default:
+			return 0, fmt.Errorf("interp: bad opcode %d in %s", in.Op, fn.Name)
+		}
+		pc++
+	}
+}

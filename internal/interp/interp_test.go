@@ -1,0 +1,252 @@
+package interp
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"castan/internal/ir"
+)
+
+func TestMemoryByteAndBulk(t *testing.T) {
+	m := NewMemory()
+	if m.LoadByte(0x1234) != 0 {
+		t.Error("untouched memory not zero")
+	}
+	m.StoreByte(0x1234, 0xab)
+	if m.LoadByte(0x1234) != 0xab {
+		t.Error("byte write lost")
+	}
+	// Cross-page bulk copy.
+	data := make([]byte, 10000)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	m.WriteBytes(0xfff0, data)
+	got := make([]byte, len(data))
+	m.ReadBytes(0xfff0, got)
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("bulk mismatch at %d", i)
+		}
+	}
+	if m.PagesTouched() < 3 {
+		t.Errorf("PagesTouched = %d", m.PagesTouched())
+	}
+}
+
+func TestMemoryBigEndian(t *testing.T) {
+	m := NewMemory()
+	m.Write(0x100, 0x1122334455667788, 8)
+	if m.LoadByte(0x100) != 0x11 || m.LoadByte(0x107) != 0x88 {
+		t.Error("not big-endian")
+	}
+	if m.Read(0x100, 4) != 0x11223344 {
+		t.Errorf("read4 = %#x", m.Read(0x100, 4))
+	}
+	if m.Read(0x104, 2) != 0x5566 {
+		t.Errorf("read2 = %#x", m.Read(0x104, 2))
+	}
+	f := func(addr uint32, v uint64) bool {
+		a := uint64(addr)
+		m.Write(a, v, 8)
+		return m.Read(a, 8) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// buildFib builds an iterative fibonacci in IR.
+func buildFib(t *testing.T) *ir.Module {
+	t.Helper()
+	m := ir.NewModule("fib")
+	m.Layout()
+	fb := m.NewFunc("fib", 1)
+	n := fb.Param(0)
+	a := fb.VarImm(0)
+	b := fb.VarImm(1)
+	i := fb.VarImm(0)
+	fb.While(func() ir.Reg { return fb.CmpUlt(i.R(), n) }, func() {
+		next := fb.Add(a.R(), b.R())
+		a.Set(b.R())
+		b.Set(next)
+		i.Set(fb.AddImm(i.R(), 1))
+	})
+	fb.Ret(a.R())
+	fb.Seal()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestInterpFib(t *testing.T) {
+	m := NewMachine(buildFib(t))
+	want := []uint64{0, 1, 1, 2, 3, 5, 8, 13, 21, 34, 55}
+	for n, w := range want {
+		got, err := m.Call("fib", uint64(n))
+		if err != nil {
+			t.Fatalf("fib(%d): %v", n, err)
+		}
+		if got != w {
+			t.Errorf("fib(%d) = %d, want %d", n, got, w)
+		}
+	}
+}
+
+func TestInterpMemOpsAndHooks(t *testing.T) {
+	m := ir.NewModule("memops")
+	g := m.AddGlobal("buf", 64, 0)
+	m.Layout()
+	fb := m.NewFunc("sum", 1)
+	count := fb.Param(0)
+	base := fb.GlobalAddr(g)
+	i := fb.VarImm(0)
+	acc := fb.VarImm(0)
+	fb.While(func() ir.Reg { return fb.CmpUlt(i.R(), count) }, func() {
+		addr := fb.Add(base, fb.MulImm(i.R(), 4))
+		acc.Set(fb.Add(acc.R(), fb.Load(addr, 0, 4)))
+		i.Set(fb.AddImm(i.R(), 1))
+	})
+	fb.Ret(acc.R())
+	fb.Seal()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	mach := NewMachine(m)
+	for k := 0; k < 8; k++ {
+		mach.Mem.Write(g.Addr+uint64(k)*4, uint64(k+1), 4)
+	}
+	var loads int
+	var instrs int
+	mach.Hooks = Hooks{
+		OnInstr: func(fn *ir.Func, in *ir.Instr) { instrs++ },
+		OnMem: func(a MemAccess) {
+			if !a.IsWrite {
+				loads++
+			}
+		},
+	}
+	got, err := mach.Call("sum", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 36 {
+		t.Errorf("sum = %d, want 36", got)
+	}
+	if loads != 8 {
+		t.Errorf("loads = %d, want 8", loads)
+	}
+	if instrs == 0 {
+		t.Error("no instruction events")
+	}
+}
+
+func TestInterpCallsAndAlloc(t *testing.T) {
+	m := ir.NewModule("calls")
+	m.Layout()
+	// newNode(v): alloc 16 bytes, store v at +8, return addr.
+	nn := m.NewFunc("newNode", 1)
+	v := nn.Param(0)
+	node := nn.AllocImm(16)
+	nn.Store(node, 8, v, 8)
+	nn.Ret(node)
+	nn.Seal()
+	// main: n1 = newNode(7); n2 = newNode(9); return load(n1+8) + load(n2+8).
+	mn := m.NewFunc("main", 0)
+	n1 := mn.Call(nn.Func(), mn.Const(7))
+	n2 := mn.Call(nn.Func(), mn.Const(9))
+	mn.Ret(mn.Add(mn.Load(n1, 8, 8), mn.Load(n2, 8, 8)))
+	mn.Seal()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mach := NewMachine(m)
+	got, err := mach.Call("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 16 {
+		t.Errorf("main = %d", got)
+	}
+	if mach.HeapUsed() < 32 {
+		t.Errorf("HeapUsed = %d", mach.HeapUsed())
+	}
+}
+
+func TestInterpHavocConcrete(t *testing.T) {
+	m := ir.NewModule("h")
+	m.Layout()
+	hid := m.AddHash("sum8", 8, func(key []byte) uint64 {
+		var s uint64
+		for _, b := range key {
+			s += uint64(b)
+		}
+		return s
+	})
+	fb := m.NewFunc("f", 1)
+	key := fb.Param(0)
+	fb.Ret(fb.Havoc(hid, key, 4))
+	fb.Seal()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mach := NewMachine(m)
+	mach.Mem.WriteBytes(0x3000, []byte{100, 200, 50, 6})
+	got, err := mach.Call("f", 0x3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != (100+200+50+6)&0xff {
+		t.Errorf("havoc = %d", got)
+	}
+}
+
+func TestInterpStepBudget(t *testing.T) {
+	m := ir.NewModule("inf")
+	m.Layout()
+	fb := m.NewFunc("spin", 0)
+	fb.Loop(func() {})
+	fb.RetImm(0)
+	fb.Seal()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mach := NewMachine(m)
+	mach.MaxSteps = 10000
+	if _, err := mach.Call("spin"); !errors.Is(err, ErrStepBudget) {
+		t.Errorf("err = %v, want budget", err)
+	}
+}
+
+func TestInterpUnknownFunction(t *testing.T) {
+	mach := NewMachine(buildFib(t))
+	if _, err := mach.Call("nope"); err == nil {
+		t.Error("unknown function accepted")
+	}
+	if _, err := mach.Call("fib"); err == nil {
+		t.Error("wrong arity accepted")
+	}
+}
+
+func TestInterpSelect(t *testing.T) {
+	m := ir.NewModule("sel")
+	m.Layout()
+	fb := m.NewFunc("clamp", 1)
+	x := fb.Param(0)
+	hundred := fb.Const(100)
+	fb.Ret(fb.Select(fb.CmpUlt(x, hundred), x, hundred))
+	fb.Seal()
+	mach := NewMachine(m)
+	for _, c := range []struct{ in, want uint64 }{{5, 5}, {100, 100}, {1000, 100}} {
+		got, err := mach.Call("clamp", c.in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("clamp(%d) = %d", c.in, got)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Package interp executes IR modules concretely. The testbed simulator
+// (internal/testbed) drives it with instrumentation hooks to account CPU
+// cycles and feed every memory access through the simulated cache
+// hierarchy, the way the paper measures NFs on the DUT.
+package interp
+
+import "encoding/binary"
+
+// pageBits selects a 4 KiB sparse-memory granule.
+const pageBits = 12
+
+const pageSize = 1 << pageBits
+
+// Memory is a sparse byte-addressable memory with big-endian multi-byte
+// accesses. Pages materialize (zeroed) on first touch, so multi-MiB lookup
+// tables cost only what they actually store.
+type Memory struct {
+	pages map[uint64]*[pageSize]byte
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: map[uint64]*[pageSize]byte{}}
+}
+
+func (m *Memory) page(addr uint64, create bool) *[pageSize]byte {
+	idx := addr >> pageBits
+	p := m.pages[idx]
+	if p == nil && create {
+		p = new([pageSize]byte)
+		m.pages[idx] = p
+	}
+	return p
+}
+
+// LoadByte returns the byte at addr (0 for untouched memory).
+func (m *Memory) LoadByte(addr uint64) byte {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&(pageSize-1)]
+}
+
+// StoreByte stores one byte.
+func (m *Memory) StoreByte(addr uint64, v byte) {
+	m.page(addr, true)[addr&(pageSize-1)] = v
+}
+
+// Read returns size bytes at addr as a big-endian value. size must be
+// 1, 2, 4 or 8.
+func (m *Memory) Read(addr uint64, size uint8) uint64 {
+	var buf [8]byte
+	m.ReadBytes(addr, buf[:size])
+	switch size {
+	case 1:
+		return uint64(buf[0])
+	case 2:
+		return uint64(binary.BigEndian.Uint16(buf[:2]))
+	case 4:
+		return uint64(binary.BigEndian.Uint32(buf[:4]))
+	case 8:
+		return binary.BigEndian.Uint64(buf[:8])
+	}
+	panic("interp: bad read size")
+}
+
+// Write stores size bytes at addr from a big-endian value.
+func (m *Memory) Write(addr uint64, v uint64, size uint8) {
+	var buf [8]byte
+	switch size {
+	case 1:
+		buf[0] = byte(v)
+	case 2:
+		binary.BigEndian.PutUint16(buf[:2], uint16(v))
+	case 4:
+		binary.BigEndian.PutUint32(buf[:4], uint32(v))
+	case 8:
+		binary.BigEndian.PutUint64(buf[:8], v)
+	default:
+		panic("interp: bad write size")
+	}
+	m.WriteBytes(addr, buf[:size])
+}
+
+// ReadBytes copies len(dst) bytes starting at addr into dst.
+func (m *Memory) ReadBytes(addr uint64, dst []byte) {
+	for len(dst) > 0 {
+		off := addr & (pageSize - 1)
+		n := pageSize - off
+		if n > uint64(len(dst)) {
+			n = uint64(len(dst))
+		}
+		if p := m.page(addr, false); p != nil {
+			copy(dst[:n], p[off:off+n])
+		} else {
+			for i := range dst[:n] {
+				dst[i] = 0
+			}
+		}
+		dst = dst[n:]
+		addr += n
+	}
+}
+
+// WriteBytes copies src into memory starting at addr.
+func (m *Memory) WriteBytes(addr uint64, src []byte) {
+	for len(src) > 0 {
+		off := addr & (pageSize - 1)
+		n := pageSize - off
+		if n > uint64(len(src)) {
+			n = uint64(len(src))
+		}
+		copy(m.page(addr, true)[off:off+n], src[:n])
+		src = src[n:]
+		addr += n
+	}
+}
+
+// PagesTouched reports the number of materialized 4 KiB pages, useful for
+// asserting footprint in tests.
+func (m *Memory) PagesTouched() int { return len(m.pages) }

@@ -1,0 +1,406 @@
+package ir
+
+import "fmt"
+
+// FuncBuilder constructs one IR function with structured control-flow
+// helpers, so that non-trivial data-structure code (tries, red-black
+// trees) can be written readably in Go and lowered to basic blocks.
+//
+// Typical use:
+//
+//	fb := mod.NewFunc("lookup", 1)
+//	key := fb.Param(0)
+//	node := fb.Var(fb.LoadG(root, 0, 8))
+//	fb.While(func() Reg { return fb.CmpNe(node.R(), fb.Const(0)) }, func() {
+//	    ...
+//	})
+//	fb.Ret(result)
+//	fb.Seal()
+type FuncBuilder struct {
+	f      *Func
+	cur    *Block
+	nblk   int
+	sealed bool
+	loops  []*loopCtx
+}
+
+type loopCtx struct {
+	head *Block // continue target
+	exit *Block // break target
+}
+
+// NewFunc starts building a function with the given number of parameters.
+// Parameters occupy registers 0..numParams-1.
+func (m *Module) NewFunc(name string, numParams int) *FuncBuilder {
+	if _, dup := m.Funcs[name]; dup {
+		panic("ir: duplicate function " + name)
+	}
+	f := &Func{Name: name, NumParams: numParams, NumRegs: numParams, Mod: m}
+	m.Funcs[name] = f
+	fb := &FuncBuilder{f: f}
+	fb.cur = fb.newBlock("entry")
+	return fb
+}
+
+// Func returns the function under construction.
+func (fb *FuncBuilder) Func() *Func { return fb.f }
+
+func (fb *FuncBuilder) newBlock(name string) *Block {
+	b := &Block{Name: fmt.Sprintf("%s%d", name, fb.nblk), Index: len(fb.f.Blocks), Fn: fb.f}
+	fb.nblk++
+	fb.f.Blocks = append(fb.f.Blocks, b)
+	return b
+}
+
+// NewReg allocates a fresh virtual register.
+func (fb *FuncBuilder) NewReg() Reg {
+	r := Reg(fb.f.NumRegs)
+	fb.f.NumRegs++
+	return r
+}
+
+// Param returns the register holding parameter i.
+func (fb *FuncBuilder) Param(i int) Reg {
+	if i < 0 || i >= fb.f.NumParams {
+		panic("ir: bad param index")
+	}
+	return Reg(i)
+}
+
+func (fb *FuncBuilder) emit(in *Instr) {
+	if fb.sealed {
+		panic("ir: emit on sealed function " + fb.f.Name)
+	}
+	if fb.cur.Terminator() != nil {
+		// Dead code after a terminator: open an unreachable block so the
+		// builder API stays composable (e.g. Ret inside both If arms).
+		fb.cur = fb.newBlock("dead")
+	}
+	fb.cur.Instrs = append(fb.cur.Instrs, in)
+}
+
+// Const materializes a constant into a fresh register.
+func (fb *FuncBuilder) Const(v uint64) Reg {
+	dst := fb.NewReg()
+	fb.emit(&Instr{Op: OpConst, Dst: dst, Imm: v})
+	return dst
+}
+
+// Mov copies src into dst (register reassignment).
+func (fb *FuncBuilder) Mov(dst, src Reg) {
+	fb.emit(&Instr{Op: OpMov, Dst: dst, A: src})
+}
+
+// MovImm assigns a constant to an existing register.
+func (fb *FuncBuilder) MovImm(dst Reg, v uint64) {
+	fb.emit(&Instr{Op: OpConst, Dst: dst, Imm: v})
+}
+
+// Bin emits dst = a <op> b into a fresh register.
+func (fb *FuncBuilder) Bin(op BinOp, a, b Reg) Reg {
+	dst := fb.NewReg()
+	fb.emit(&Instr{Op: OpBin, Bin: op, Dst: dst, A: a, B: b})
+	return dst
+}
+
+// Arithmetic conveniences.
+
+// Add emits a+b.
+func (fb *FuncBuilder) Add(a, b Reg) Reg { return fb.Bin(Add, a, b) }
+
+// Sub emits a-b.
+func (fb *FuncBuilder) Sub(a, b Reg) Reg { return fb.Bin(Sub, a, b) }
+
+// Mul emits a*b.
+func (fb *FuncBuilder) Mul(a, b Reg) Reg { return fb.Bin(Mul, a, b) }
+
+// And emits a&b.
+func (fb *FuncBuilder) And(a, b Reg) Reg { return fb.Bin(And, a, b) }
+
+// Or emits a|b.
+func (fb *FuncBuilder) Or(a, b Reg) Reg { return fb.Bin(Or, a, b) }
+
+// Xor emits a^b.
+func (fb *FuncBuilder) Xor(a, b Reg) Reg { return fb.Bin(Xor, a, b) }
+
+// Shl emits a<<b.
+func (fb *FuncBuilder) Shl(a, b Reg) Reg { return fb.Bin(Shl, a, b) }
+
+// Lshr emits a>>b.
+func (fb *FuncBuilder) Lshr(a, b Reg) Reg { return fb.Bin(Lshr, a, b) }
+
+// URem emits a%b.
+func (fb *FuncBuilder) URem(a, b Reg) Reg { return fb.Bin(URem, a, b) }
+
+// UDiv emits a/b.
+func (fb *FuncBuilder) UDiv(a, b Reg) Reg { return fb.Bin(UDiv, a, b) }
+
+// AddImm emits a + constant.
+func (fb *FuncBuilder) AddImm(a Reg, v uint64) Reg { return fb.Add(a, fb.Const(v)) }
+
+// AndImm emits a & constant.
+func (fb *FuncBuilder) AndImm(a Reg, v uint64) Reg { return fb.And(a, fb.Const(v)) }
+
+// ShlImm emits a << constant.
+func (fb *FuncBuilder) ShlImm(a Reg, v uint64) Reg { return fb.Shl(a, fb.Const(v)) }
+
+// LshrImm emits a >> constant.
+func (fb *FuncBuilder) LshrImm(a Reg, v uint64) Reg { return fb.Lshr(a, fb.Const(v)) }
+
+// MulImm emits a * constant.
+func (fb *FuncBuilder) MulImm(a Reg, v uint64) Reg { return fb.Mul(a, fb.Const(v)) }
+
+// Cmp emits dst = a <pred> b.
+func (fb *FuncBuilder) Cmp(p Pred, a, b Reg) Reg {
+	dst := fb.NewReg()
+	fb.emit(&Instr{Op: OpCmp, Pred: p, Dst: dst, A: a, B: b})
+	return dst
+}
+
+// Comparison conveniences.
+
+// CmpEq emits a==b.
+func (fb *FuncBuilder) CmpEq(a, b Reg) Reg { return fb.Cmp(Eq, a, b) }
+
+// CmpNe emits a!=b.
+func (fb *FuncBuilder) CmpNe(a, b Reg) Reg { return fb.Cmp(Ne, a, b) }
+
+// CmpUlt emits a<b.
+func (fb *FuncBuilder) CmpUlt(a, b Reg) Reg { return fb.Cmp(Ult, a, b) }
+
+// CmpUle emits a<=b.
+func (fb *FuncBuilder) CmpUle(a, b Reg) Reg { return fb.Cmp(Ule, a, b) }
+
+// CmpEqImm emits a == constant.
+func (fb *FuncBuilder) CmpEqImm(a Reg, v uint64) Reg { return fb.CmpEq(a, fb.Const(v)) }
+
+// CmpNeImm emits a != constant.
+func (fb *FuncBuilder) CmpNeImm(a Reg, v uint64) Reg { return fb.CmpNe(a, fb.Const(v)) }
+
+// Select emits dst = cond ? b : c.
+func (fb *FuncBuilder) Select(cond, b, c Reg) Reg {
+	dst := fb.NewReg()
+	fb.emit(&Instr{Op: OpSelect, Dst: dst, A: cond, B: b, C: c})
+	return dst
+}
+
+// Load emits dst = mem[addr+off] of size bytes (big-endian).
+func (fb *FuncBuilder) Load(addr Reg, off uint64, size uint8) Reg {
+	dst := fb.NewReg()
+	fb.emit(&Instr{Op: OpLoad, Dst: dst, A: addr, Imm: off, Size: size})
+	return dst
+}
+
+// Store emits mem[addr+off] = val of size bytes (big-endian).
+func (fb *FuncBuilder) Store(addr Reg, off uint64, val Reg, size uint8) {
+	fb.emit(&Instr{Op: OpStore, A: addr, B: val, Imm: off, Size: size})
+}
+
+// GlobalAddr materializes the address of a global. The module must contain
+// the global; the address is resolved at Layout time, so the builder emits
+// a const that the loader patches. To keep things simple we require Layout
+// before building functions that reference globals.
+func (fb *FuncBuilder) GlobalAddr(g *Global) Reg {
+	if g.Addr == 0 {
+		panic("ir: GlobalAddr before Module.Layout for " + g.Name)
+	}
+	r := fb.Const(g.Addr)
+	return r
+}
+
+// Call emits dst = callee(args...).
+func (fb *FuncBuilder) Call(callee *Func, args ...Reg) Reg {
+	dst := fb.NewReg()
+	fb.emit(&Instr{Op: OpCall, Dst: dst, Callee: callee, Args: args})
+	return dst
+}
+
+// Ret emits a return of r (use NoReg for "return 0").
+func (fb *FuncBuilder) Ret(r Reg) {
+	fb.emit(&Instr{Op: OpRet, A: r})
+}
+
+// RetImm returns a constant.
+func (fb *FuncBuilder) RetImm(v uint64) {
+	fb.Ret(fb.Const(v))
+}
+
+// Alloc emits a heap allocation of size bytes (zeroed), returning its
+// address.
+func (fb *FuncBuilder) Alloc(size Reg) Reg {
+	dst := fb.NewReg()
+	fb.emit(&Instr{Op: OpAlloc, Dst: dst, A: size})
+	return dst
+}
+
+// AllocImm allocates a constant number of bytes.
+func (fb *FuncBuilder) AllocImm(size uint64) Reg {
+	return fb.Alloc(fb.Const(size))
+}
+
+// Havoc emits dst = hash[hashID](mem[key .. key+keyLen)). Under symbolic
+// execution this is the havoc point of §3.5.
+func (fb *FuncBuilder) Havoc(hashID int, key Reg, keyLen uint64) Reg {
+	dst := fb.NewReg()
+	fb.emit(&Instr{Op: OpHavoc, Dst: dst, HashID: hashID, A: key, Imm: keyLen})
+	return dst
+}
+
+// br emits an unconditional branch and leaves the current block finished.
+func (fb *FuncBuilder) br(target *Block) {
+	fb.emit(&Instr{Op: OpBr, Blk0: target})
+}
+
+// If lowers if/else. Either arm may be nil.
+func (fb *FuncBuilder) If(cond Reg, then func(), els func()) {
+	thenB := fb.newBlock("then")
+	joinB := fb.newBlock("join")
+	elseB := joinB
+	if els != nil {
+		elseB = fb.newBlock("else")
+	}
+	fb.emit(&Instr{Op: OpCondBr, A: cond, Blk0: thenB, Blk1: elseB})
+	fb.cur = thenB
+	if then != nil {
+		then()
+	}
+	fb.br(joinB)
+	if els != nil {
+		fb.cur = elseB
+		els()
+		fb.br(joinB)
+	}
+	fb.cur = joinB
+}
+
+// While lowers a while loop: cond is re-evaluated each iteration (it may
+// emit instructions); body runs while cond is nonzero. Break/Continue
+// inside body target this loop.
+func (fb *FuncBuilder) While(cond func() Reg, body func()) {
+	head := fb.newBlock("loophead")
+	bodyB := fb.newBlock("loopbody")
+	exit := fb.newBlock("loopexit")
+	fb.br(head)
+	fb.cur = head
+	c := cond()
+	fb.emit(&Instr{Op: OpCondBr, A: c, Blk0: bodyB, Blk1: exit})
+	fb.loops = append(fb.loops, &loopCtx{head: head, exit: exit})
+	fb.cur = bodyB
+	body()
+	fb.br(head)
+	fb.loops = fb.loops[:len(fb.loops)-1]
+	fb.cur = exit
+}
+
+// Loop lowers an infinite loop; exit only via Break (or Ret).
+func (fb *FuncBuilder) Loop(body func()) {
+	head := fb.newBlock("loophead")
+	exit := fb.newBlock("loopexit")
+	fb.br(head)
+	fb.cur = head
+	fb.loops = append(fb.loops, &loopCtx{head: head, exit: exit})
+	body()
+	fb.br(head)
+	fb.loops = fb.loops[:len(fb.loops)-1]
+	fb.cur = exit
+}
+
+// Break jumps to the innermost loop's exit.
+func (fb *FuncBuilder) Break() {
+	if len(fb.loops) == 0 {
+		panic("ir: Break outside loop")
+	}
+	fb.br(fb.loops[len(fb.loops)-1].exit)
+}
+
+// Continue jumps to the innermost loop's head.
+func (fb *FuncBuilder) Continue() {
+	if len(fb.loops) == 0 {
+		panic("ir: Continue outside loop")
+	}
+	fb.br(fb.loops[len(fb.loops)-1].head)
+}
+
+// Comment annotates the most recently emitted instruction, keeping
+// disassembly readable. No-op if nothing has been emitted yet.
+func (fb *FuncBuilder) Comment(text string) {
+	if n := len(fb.cur.Instrs); n > 0 {
+		fb.cur.Instrs[n-1].Comment = text
+	}
+}
+
+// Seal finishes the function: ensures the final block is terminated
+// (with ret 0 if control can fall off the end) and prunes unreachable
+// blocks.
+func (fb *FuncBuilder) Seal() *Func {
+	if fb.sealed {
+		return fb.f
+	}
+	if fb.cur.Terminator() == nil {
+		fb.Ret(NoReg)
+	}
+	// Also terminate any stray unterminated blocks (possible if user code
+	// returned inside every branch of an If and the join is unreachable).
+	for _, b := range fb.f.Blocks {
+		if b.Terminator() == nil {
+			ret := &Instr{Op: OpRet, A: NoReg}
+			b.Instrs = append(b.Instrs, ret)
+		}
+	}
+	fb.pruneUnreachable()
+	fb.sealed = true
+	return fb.f
+}
+
+func (fb *FuncBuilder) pruneUnreachable() {
+	reach := map[*Block]bool{}
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if reach[b] {
+			return
+		}
+		reach[b] = true
+		for _, s := range b.Succs() {
+			walk(s)
+		}
+	}
+	walk(fb.f.Blocks[0])
+	kept := fb.f.Blocks[:0]
+	for _, b := range fb.f.Blocks {
+		if reach[b] {
+			b.Index = len(kept)
+			kept = append(kept, b)
+		}
+	}
+	fb.f.Blocks = kept
+}
+
+// Var is a mutable "local variable" wrapper over a dedicated register,
+// making loop-carried values pleasant to write.
+type Var struct {
+	fb *FuncBuilder
+	r  Reg
+}
+
+// Var creates a variable initialized from an existing register value.
+func (fb *FuncBuilder) Var(init Reg) *Var {
+	v := &Var{fb: fb, r: fb.NewReg()}
+	fb.Mov(v.r, init)
+	return v
+}
+
+// VarImm creates a variable initialized to a constant.
+func (fb *FuncBuilder) VarImm(init uint64) *Var {
+	v := &Var{fb: fb, r: fb.NewReg()}
+	fb.MovImm(v.r, init)
+	return v
+}
+
+// R returns the variable's register for use as an operand.
+func (v *Var) R() Reg { return v.r }
+
+// Set assigns a new value.
+func (v *Var) Set(r Reg) { v.fb.Mov(v.r, r) }
+
+// SetImm assigns a constant.
+func (v *Var) SetImm(c uint64) { v.fb.MovImm(v.r, c) }

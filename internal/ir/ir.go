@@ -1,0 +1,520 @@
+// Package ir defines the intermediate representation in which every
+// network function in this repository is written. It plays the role LLVM
+// bitcode plays in the paper: a low-level, explicitly-addressed
+// instruction stream that is *both* executed concretely by the testbed
+// interpreter (internal/interp) and explored symbolically by CASTAN
+// (internal/symbex).
+//
+// The machine model is deliberately simple:
+//
+//   - 64-bit virtual registers, unlimited per function, non-SSA (registers
+//     may be reassigned, so no phi nodes are needed);
+//   - a byte-addressable memory with big-endian multi-byte accesses
+//     (network byte order, so header fields load directly);
+//   - functions with by-value register arguments and a single return value;
+//   - structured control flow lowered to basic blocks with br/condbr/ret;
+//   - a bump-allocating heap (OpAlloc) for dynamic state such as tree
+//     nodes;
+//   - OpHavoc, the IR form of the paper's castan_havoc annotation: in
+//     concrete execution it computes a registered hash over a memory
+//     region; under symbex it produces a fresh unconstrained symbol and
+//     records the (key, output) pair for later rainbow-table
+//     reconciliation (§3.5).
+package ir
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Address-space layout. The loader assigns global addresses from
+// GlobalBase; the interpreter's bump allocator starts at HeapBase; the
+// harness writes each incoming packet at PacketBase.
+const (
+	PacketBase = uint64(0x0000_2000)
+	PacketSlot = uint64(0x800) // maximum frame size the harness supports
+	GlobalBase = uint64(0x1000_0000)
+	HeapBase   = uint64(0x4000_0000)
+)
+
+// Reg is a virtual register index within a function frame.
+type Reg int32
+
+// NoReg marks an unused register operand.
+const NoReg Reg = -1
+
+// Opcode enumerates instruction kinds.
+type Opcode uint8
+
+// Instruction opcodes.
+const (
+	OpConst Opcode = iota // Dst = Imm
+	OpMov                 // Dst = A
+	OpBin                 // Dst = A <Bin> B
+	OpCmp                 // Dst = A <Pred> B (0 or 1)
+	OpSelect              // Dst = A != 0 ? B : C
+	OpLoad                // Dst = mem[A + Imm], Size bytes, big-endian
+	OpStore               // mem[A + Imm] = B, Size bytes, big-endian
+	OpBr                  // goto Blk0
+	OpCondBr              // A != 0 ? goto Blk0 : goto Blk1
+	OpCall                // Dst = Callee(Args...)
+	OpRet                 // return A (or 0 if A == NoReg)
+	OpAlloc               // Dst = heap allocation of A bytes, zeroed
+	OpHavoc               // Dst = hash[HashID](mem[A .. A+Imm))
+)
+
+var opcodeNames = [...]string{
+	OpConst: "const", OpMov: "mov", OpBin: "bin", OpCmp: "cmp",
+	OpSelect: "select", OpLoad: "load", OpStore: "store", OpBr: "br",
+	OpCondBr: "condbr", OpCall: "call", OpRet: "ret", OpAlloc: "alloc",
+	OpHavoc: "havoc",
+}
+
+// String returns the opcode mnemonic.
+func (o Opcode) String() string {
+	if int(o) < len(opcodeNames) {
+		return opcodeNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// BinOp enumerates arithmetic/logical operations for OpBin.
+type BinOp uint8
+
+// Binary operations. Division by zero yields 0; remainder by zero yields
+// the dividend; shifts of 64 or more yield 0 — total functions, so the
+// interpreter and symbex never trap.
+const (
+	Add BinOp = iota
+	Sub
+	Mul
+	UDiv
+	URem
+	And
+	Or
+	Xor
+	Shl
+	Lshr
+)
+
+var binNames = [...]string{"add", "sub", "mul", "udiv", "urem", "and", "or", "xor", "shl", "lshr"}
+
+// String returns the operation mnemonic.
+func (b BinOp) String() string {
+	if int(b) < len(binNames) {
+		return binNames[b]
+	}
+	return fmt.Sprintf("bin(%d)", uint8(b))
+}
+
+// Eval applies the operation to concrete values.
+func (b BinOp) Eval(x, y uint64) uint64 {
+	switch b {
+	case Add:
+		return x + y
+	case Sub:
+		return x - y
+	case Mul:
+		return x * y
+	case UDiv:
+		if y == 0 {
+			return 0
+		}
+		return x / y
+	case URem:
+		if y == 0 {
+			return x
+		}
+		return x % y
+	case And:
+		return x & y
+	case Or:
+		return x | y
+	case Xor:
+		return x ^ y
+	case Shl:
+		if y >= 64 {
+			return 0
+		}
+		return x << y
+	case Lshr:
+		if y >= 64 {
+			return 0
+		}
+		return x >> y
+	}
+	panic("ir: bad binop")
+}
+
+// Pred enumerates comparison predicates for OpCmp. All unsigned.
+type Pred uint8
+
+// Comparison predicates.
+const (
+	Eq Pred = iota
+	Ne
+	Ult
+	Ule
+	Ugt
+	Uge
+)
+
+var predNames = [...]string{"eq", "ne", "ult", "ule", "ugt", "uge"}
+
+// String returns the predicate mnemonic.
+func (p Pred) String() string {
+	if int(p) < len(predNames) {
+		return predNames[p]
+	}
+	return fmt.Sprintf("pred(%d)", uint8(p))
+}
+
+// Eval applies the predicate to concrete values.
+func (p Pred) Eval(x, y uint64) uint64 {
+	var b bool
+	switch p {
+	case Eq:
+		b = x == y
+	case Ne:
+		b = x != y
+	case Ult:
+		b = x < y
+	case Ule:
+		b = x <= y
+	case Ugt:
+		b = x > y
+	case Uge:
+		b = x >= y
+	default:
+		panic("ir: bad pred")
+	}
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Instr is a single instruction. Which fields are meaningful depends on Op;
+// see the Opcode constants.
+type Instr struct {
+	Op   Opcode
+	Bin  BinOp
+	Pred Pred
+	Dst  Reg
+	A    Reg
+	B    Reg
+	C    Reg
+	Imm  uint64
+	Size uint8 // load/store width in bytes: 1, 2, 4 or 8
+
+	Callee *Func
+	Args   []Reg
+
+	Blk0 *Block
+	Blk1 *Block
+
+	HashID int // OpHavoc: index into Module.Hashes
+
+	Comment string // optional, for disassembly
+}
+
+// IsTerminator reports whether the instruction ends a basic block.
+func (i *Instr) IsTerminator() bool {
+	switch i.Op {
+	case OpBr, OpCondBr, OpRet:
+		return true
+	}
+	return false
+}
+
+// Block is a basic block: straight-line instructions ending in exactly one
+// terminator.
+type Block struct {
+	Name   string
+	Index  int // position within Func.Blocks
+	Instrs []*Instr
+	Fn     *Func
+}
+
+// Terminator returns the block's final instruction.
+func (b *Block) Terminator() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	last := b.Instrs[len(b.Instrs)-1]
+	if !last.IsTerminator() {
+		return nil
+	}
+	return last
+}
+
+// Succs returns the block's successor blocks.
+func (b *Block) Succs() []*Block {
+	t := b.Terminator()
+	if t == nil {
+		return nil
+	}
+	switch t.Op {
+	case OpBr:
+		return []*Block{t.Blk0}
+	case OpCondBr:
+		return []*Block{t.Blk0, t.Blk1}
+	}
+	return nil
+}
+
+// Func is an IR function.
+type Func struct {
+	Name      string
+	NumParams int
+	NumRegs   int
+	Blocks    []*Block
+	Mod       *Module
+}
+
+// Entry returns the function's entry block.
+func (f *Func) Entry() *Block { return f.Blocks[0] }
+
+// Global is a statically allocated memory region.
+type Global struct {
+	Name string
+	Size uint64
+	// Align requests address alignment (power of two). Zero means 64
+	// (one cache line).
+	Align uint64
+	// Addr is assigned by Module.Layout.
+	Addr uint64
+}
+
+// HashFn is a concrete hash function registered with the module and
+// referenced by OpHavoc instructions. Bits says how wide the output is.
+type HashFn struct {
+	Name string
+	Bits int
+	Fn   func(key []byte) uint64
+}
+
+// Module is a compilation unit: functions, globals, and registered hash
+// functions.
+type Module struct {
+	Name    string
+	Funcs   map[string]*Func
+	Globals map[string]*Global
+	Hashes  []HashFn
+
+	laidOut bool
+	heapTop uint64
+}
+
+// NewModule returns an empty module.
+func NewModule(name string) *Module {
+	return &Module{
+		Name:    name,
+		Funcs:   map[string]*Func{},
+		Globals: map[string]*Global{},
+	}
+}
+
+// AddGlobal declares a global region. Layout assigns its address.
+func (m *Module) AddGlobal(name string, size, align uint64) *Global {
+	if _, dup := m.Globals[name]; dup {
+		panic("ir: duplicate global " + name)
+	}
+	g := &Global{Name: name, Size: size, Align: align}
+	m.Globals[name] = g
+	return g
+}
+
+// AddHash registers a hash function, returning its HashID.
+func (m *Module) AddHash(name string, bits int, fn func([]byte) uint64) int {
+	m.Hashes = append(m.Hashes, HashFn{Name: name, Bits: bits, Fn: fn})
+	return len(m.Hashes) - 1
+}
+
+// Layout assigns addresses to globals (deterministically, sorted by name)
+// and freezes the module. It is idempotent.
+func (m *Module) Layout() {
+	if m.laidOut {
+		return
+	}
+	names := make([]string, 0, len(m.Globals))
+	for n := range m.Globals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	addr := GlobalBase
+	for _, n := range names {
+		g := m.Globals[n]
+		align := g.Align
+		if align == 0 {
+			align = 64
+		}
+		addr = (addr + align - 1) &^ (align - 1)
+		g.Addr = addr
+		addr += g.Size
+	}
+	if addr > HeapBase {
+		panic(fmt.Sprintf("ir: globals overflow into heap: top %#x", addr))
+	}
+	m.laidOut = true
+}
+
+// Validate checks structural invariants: every block terminated, register
+// and operand indices in range, call graph acyclic (the interpreter and
+// symbex assume bounded stacks), entry function arities consistent.
+func (m *Module) Validate() error {
+	for _, f := range m.Funcs {
+		if len(f.Blocks) == 0 {
+			return fmt.Errorf("ir: function %s has no blocks", f.Name)
+		}
+		for _, b := range f.Blocks {
+			if b.Terminator() == nil {
+				return fmt.Errorf("ir: %s/%s not terminated", f.Name, b.Name)
+			}
+			for idx, in := range b.Instrs {
+				if in.IsTerminator() && idx != len(b.Instrs)-1 {
+					return fmt.Errorf("ir: %s/%s: terminator mid-block", f.Name, b.Name)
+				}
+				if err := m.checkInstr(f, b, in); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return m.checkAcyclicCalls()
+}
+
+func (m *Module) checkInstr(f *Func, b *Block, in *Instr) error {
+	chk := func(r Reg, needed bool) error {
+		if r == NoReg {
+			if needed {
+				return fmt.Errorf("ir: %s/%s: %s missing operand", f.Name, b.Name, in.Op)
+			}
+			return nil
+		}
+		if int(r) < 0 || int(r) >= f.NumRegs {
+			return fmt.Errorf("ir: %s/%s: %s register %d out of range [0,%d)", f.Name, b.Name, in.Op, r, f.NumRegs)
+		}
+		return nil
+	}
+	switch in.Op {
+	case OpConst:
+		return chk(in.Dst, true)
+	case OpMov:
+		if err := chk(in.Dst, true); err != nil {
+			return err
+		}
+		return chk(in.A, true)
+	case OpBin, OpCmp:
+		for _, r := range []Reg{in.Dst, in.A, in.B} {
+			if err := chk(r, true); err != nil {
+				return err
+			}
+		}
+	case OpSelect:
+		for _, r := range []Reg{in.Dst, in.A, in.B, in.C} {
+			if err := chk(r, true); err != nil {
+				return err
+			}
+		}
+	case OpLoad:
+		if !validSize(in.Size) {
+			return fmt.Errorf("ir: %s/%s: load size %d", f.Name, b.Name, in.Size)
+		}
+		if err := chk(in.Dst, true); err != nil {
+			return err
+		}
+		return chk(in.A, true)
+	case OpStore:
+		if !validSize(in.Size) {
+			return fmt.Errorf("ir: %s/%s: store size %d", f.Name, b.Name, in.Size)
+		}
+		if err := chk(in.A, true); err != nil {
+			return err
+		}
+		return chk(in.B, true)
+	case OpBr:
+		if in.Blk0 == nil || in.Blk0.Fn != f {
+			return fmt.Errorf("ir: %s/%s: br target invalid", f.Name, b.Name)
+		}
+	case OpCondBr:
+		if err := chk(in.A, true); err != nil {
+			return err
+		}
+		if in.Blk0 == nil || in.Blk1 == nil || in.Blk0.Fn != f || in.Blk1.Fn != f {
+			return fmt.Errorf("ir: %s/%s: condbr targets invalid", f.Name, b.Name)
+		}
+	case OpCall:
+		if in.Callee == nil {
+			return fmt.Errorf("ir: %s/%s: call without callee", f.Name, b.Name)
+		}
+		if len(in.Args) != in.Callee.NumParams {
+			return fmt.Errorf("ir: %s/%s: call %s with %d args, want %d",
+				f.Name, b.Name, in.Callee.Name, len(in.Args), in.Callee.NumParams)
+		}
+		for _, a := range in.Args {
+			if err := chk(a, true); err != nil {
+				return err
+			}
+		}
+		return chk(in.Dst, false)
+	case OpRet:
+		return chk(in.A, false)
+	case OpAlloc:
+		if err := chk(in.Dst, true); err != nil {
+			return err
+		}
+		return chk(in.A, true)
+	case OpHavoc:
+		if in.HashID < 0 || in.HashID >= len(m.Hashes) {
+			return fmt.Errorf("ir: %s/%s: havoc hash id %d out of range", f.Name, b.Name, in.HashID)
+		}
+		if err := chk(in.Dst, true); err != nil {
+			return err
+		}
+		return chk(in.A, true)
+	default:
+		return fmt.Errorf("ir: %s/%s: unknown opcode %d", f.Name, b.Name, in.Op)
+	}
+	return nil
+}
+
+func validSize(s uint8) bool { return s == 1 || s == 2 || s == 4 || s == 8 }
+
+func (m *Module) checkAcyclicCalls() error {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[*Func]int{}
+	var visit func(f *Func) error
+	visit = func(f *Func) error {
+		color[f] = gray
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op != OpCall {
+					continue
+				}
+				switch color[in.Callee] {
+				case gray:
+					return fmt.Errorf("ir: recursive call cycle through %s", in.Callee.Name)
+				case white:
+					if err := visit(in.Callee); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		color[f] = black
+		return nil
+	}
+	for _, f := range m.Funcs {
+		if color[f] == white {
+			if err := visit(f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,252 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBinOpEval(t *testing.T) {
+	cases := []struct {
+		op   BinOp
+		x, y uint64
+		want uint64
+	}{
+		{Add, 2, 3, 5},
+		{Sub, 2, 3, ^uint64(0)},
+		{Mul, 7, 6, 42},
+		{UDiv, 10, 3, 3},
+		{UDiv, 10, 0, 0},
+		{URem, 10, 3, 1},
+		{URem, 10, 0, 10},
+		{And, 0xf0, 0xff, 0xf0},
+		{Or, 0xf0, 0x0f, 0xff},
+		{Xor, 0xff, 0x0f, 0xf0},
+		{Shl, 1, 10, 1024},
+		{Shl, 1, 64, 0},
+		{Lshr, 1024, 10, 1},
+		{Lshr, 1, 100, 0},
+	}
+	for _, c := range cases {
+		if got := c.op.Eval(c.x, c.y); got != c.want {
+			t.Errorf("%v(%d,%d) = %d, want %d", c.op, c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestPredEval(t *testing.T) {
+	cases := []struct {
+		p    Pred
+		x, y uint64
+		want uint64
+	}{
+		{Eq, 1, 1, 1}, {Eq, 1, 2, 0},
+		{Ne, 1, 2, 1}, {Ne, 2, 2, 0},
+		{Ult, 1, 2, 1}, {Ult, 2, 2, 0},
+		{Ule, 2, 2, 1}, {Ule, 3, 2, 0},
+		{Ugt, 3, 2, 1}, {Ugt, 2, 2, 0},
+		{Uge, 2, 2, 1}, {Uge, 1, 2, 0},
+	}
+	for _, c := range cases {
+		if got := c.p.Eval(c.x, c.y); got != c.want {
+			t.Errorf("%v(%d,%d) = %d, want %d", c.p, c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestModuleLayout(t *testing.T) {
+	m := NewModule("t")
+	g1 := m.AddGlobal("table", 1000, 0)
+	g2 := m.AddGlobal("aux", 64, 4096)
+	m.Layout()
+	if g1.Addr < GlobalBase {
+		t.Errorf("g1 addr %#x below base", g1.Addr)
+	}
+	if g1.Addr%64 != 0 {
+		t.Errorf("g1 not line-aligned: %#x", g1.Addr)
+	}
+	if g2.Addr%4096 != 0 {
+		t.Errorf("g2 not 4k-aligned: %#x", g2.Addr)
+	}
+	if g2.Addr >= g1.Addr && g2.Addr < g1.Addr+1000 {
+		t.Error("globals overlap")
+	}
+	// Layout is idempotent.
+	a1 := g1.Addr
+	m.Layout()
+	if g1.Addr != a1 {
+		t.Error("layout not idempotent")
+	}
+}
+
+func TestDuplicateGlobalPanics(t *testing.T) {
+	m := NewModule("t")
+	m.AddGlobal("x", 8, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate global did not panic")
+		}
+	}()
+	m.AddGlobal("x", 8, 0)
+}
+
+func TestBuilderSimpleFunction(t *testing.T) {
+	m := NewModule("t")
+	m.Layout()
+	fb := m.NewFunc("add3", 1)
+	x := fb.Param(0)
+	fb.Ret(fb.AddImm(x, 3))
+	f := fb.Seal()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if f.NumParams != 1 || len(f.Blocks) != 1 {
+		t.Errorf("func shape: %d params, %d blocks", f.NumParams, len(f.Blocks))
+	}
+}
+
+func TestBuilderIfElse(t *testing.T) {
+	m := NewModule("t")
+	m.Layout()
+	fb := m.NewFunc("max", 2)
+	a, b := fb.Param(0), fb.Param(1)
+	out := fb.VarImm(0)
+	fb.If(fb.CmpUlt(a, b),
+		func() { out.Set(b) },
+		func() { out.Set(a) })
+	fb.Ret(out.R())
+	fb.Seal()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestBuilderWhileAndBreak(t *testing.T) {
+	m := NewModule("t")
+	m.Layout()
+	fb := m.NewFunc("count", 1)
+	n := fb.Param(0)
+	i := fb.VarImm(0)
+	fb.While(func() Reg { return fb.CmpUlt(i.R(), n) }, func() {
+		fb.If(fb.CmpEqImm(i.R(), 100), func() { fb.Break() }, nil)
+		i.Set(fb.AddImm(i.R(), 1))
+	})
+	fb.Ret(i.R())
+	fb.Seal()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestBreakOutsideLoopPanics(t *testing.T) {
+	m := NewModule("t")
+	m.Layout()
+	fb := m.NewFunc("bad", 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("Break outside loop did not panic")
+		}
+	}()
+	fb.Break()
+}
+
+func TestValidateCatchesRecursion(t *testing.T) {
+	m := NewModule("t")
+	m.Layout()
+	fa := m.NewFunc("a", 0)
+	fbld := m.NewFunc("b", 0)
+	// a calls b; b calls a — mutual recursion.
+	fa.Ret(fa.Call(fbld.Func()))
+	fa.Seal()
+	fbld.Ret(fbld.Call(fa.Func()))
+	fbld.Seal()
+	if err := m.Validate(); err == nil {
+		t.Error("recursion not caught")
+	}
+}
+
+func TestValidateCatchesBadArity(t *testing.T) {
+	m := NewModule("t")
+	m.Layout()
+	callee := m.NewFunc("callee", 2)
+	callee.RetImm(0)
+	callee.Seal()
+	caller := m.NewFunc("caller", 0)
+	caller.Ret(caller.Call(callee.Func(), caller.Const(1))) // 1 arg, wants 2
+	caller.Seal()
+	if err := m.Validate(); err == nil || !strings.Contains(err.Error(), "args") {
+		t.Errorf("arity not caught: %v", err)
+	}
+}
+
+func TestValidateCatchesBadLoadSize(t *testing.T) {
+	m := NewModule("t")
+	m.Layout()
+	fb := m.NewFunc("f", 0)
+	addr := fb.Const(0x1000)
+	dst := fb.NewReg()
+	fb.Func().Blocks[0].Instrs = append(fb.Func().Blocks[0].Instrs,
+		&Instr{Op: OpLoad, Dst: dst, A: addr, Size: 3})
+	fb.RetImm(0)
+	fb.Seal()
+	if err := m.Validate(); err == nil || !strings.Contains(err.Error(), "size") {
+		t.Errorf("bad size not caught: %v", err)
+	}
+}
+
+func TestSealPrunesUnreachable(t *testing.T) {
+	m := NewModule("t")
+	m.Layout()
+	fb := m.NewFunc("f", 0)
+	fb.RetImm(1)
+	// Emitting after a terminator opens a dead block that must be pruned
+	// unless reachable.
+	fb.RetImm(2)
+	f := fb.Seal()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	for _, b := range f.Blocks {
+		if strings.HasPrefix(b.Name, "dead") {
+			t.Error("dead block survived pruning")
+		}
+	}
+}
+
+func TestDisassembleSmoke(t *testing.T) {
+	m := NewModule("demo")
+	m.AddGlobal("tbl", 128, 0)
+	m.Layout()
+	hid := m.AddHash("h", 16, func(b []byte) uint64 { return 0 })
+	fb := m.NewFunc("f", 1)
+	p := fb.Param(0)
+	v := fb.Load(p, 4, 4)
+	h := fb.Havoc(hid, p, 13)
+	fb.Store(p, 8, fb.Add(v, h), 4)
+	fb.Comment("stash")
+	fb.If(fb.CmpEqImm(h, 0), func() { fb.RetImm(0) }, nil)
+	fb.Ret(fb.Select(fb.CmpNeImm(v, 0), v, h))
+	fb.Seal()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	dis := m.Disassemble()
+	for _, want := range []string{"module demo", "global tbl", "func f", "havoc#0", "load32", "store32", "; stash", "select", "condbr"} {
+		if !strings.Contains(dis, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, dis)
+		}
+	}
+	if m.NumInstrs() < 8 {
+		t.Errorf("NumInstrs = %d", m.NumInstrs())
+	}
+}
+
+func TestGlobalsOverflowPanics(t *testing.T) {
+	m := NewModule("t")
+	m.AddGlobal("huge", HeapBase, 0) // deliberately overflows into heap
+	defer func() {
+		if recover() == nil {
+			t.Error("overflow not caught")
+		}
+	}()
+	m.Layout()
+}

@@ -1,0 +1,102 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Disassemble renders the instruction in a compact assembly-like syntax.
+func (i *Instr) Disassemble() string {
+	var s string
+	switch i.Op {
+	case OpConst:
+		s = fmt.Sprintf("r%d = %#x", i.Dst, i.Imm)
+	case OpMov:
+		s = fmt.Sprintf("r%d = r%d", i.Dst, i.A)
+	case OpBin:
+		s = fmt.Sprintf("r%d = %s r%d, r%d", i.Dst, i.Bin, i.A, i.B)
+	case OpCmp:
+		s = fmt.Sprintf("r%d = %s r%d, r%d", i.Dst, i.Pred, i.A, i.B)
+	case OpSelect:
+		s = fmt.Sprintf("r%d = select r%d, r%d, r%d", i.Dst, i.A, i.B, i.C)
+	case OpLoad:
+		s = fmt.Sprintf("r%d = load%d [r%d+%#x]", i.Dst, i.Size*8, i.A, i.Imm)
+	case OpStore:
+		s = fmt.Sprintf("store%d [r%d+%#x], r%d", i.Size*8, i.A, i.Imm, i.B)
+	case OpBr:
+		s = fmt.Sprintf("br %s", i.Blk0.Name)
+	case OpCondBr:
+		s = fmt.Sprintf("condbr r%d, %s, %s", i.A, i.Blk0.Name, i.Blk1.Name)
+	case OpCall:
+		args := make([]string, len(i.Args))
+		for k, a := range i.Args {
+			args[k] = fmt.Sprintf("r%d", a)
+		}
+		s = fmt.Sprintf("r%d = call %s(%s)", i.Dst, i.Callee.Name, strings.Join(args, ", "))
+	case OpRet:
+		if i.A == NoReg {
+			s = "ret"
+		} else {
+			s = fmt.Sprintf("ret r%d", i.A)
+		}
+	case OpAlloc:
+		s = fmt.Sprintf("r%d = alloc r%d", i.Dst, i.A)
+	case OpHavoc:
+		s = fmt.Sprintf("r%d = havoc#%d key=[r%d..+%d]", i.Dst, i.HashID, i.A, i.Imm)
+	default:
+		s = fmt.Sprintf("?op%d", i.Op)
+	}
+	if i.Comment != "" {
+		s += " ; " + i.Comment
+	}
+	return s
+}
+
+// Disassemble renders the whole function.
+func (f *Func) Disassemble() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s(%d params, %d regs):\n", f.Name, f.NumParams, f.NumRegs)
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&b, "%s:\n", blk.Name)
+		for _, in := range blk.Instrs {
+			fmt.Fprintf(&b, "    %s\n", in.Disassemble())
+		}
+	}
+	return b.String()
+}
+
+// Disassemble renders the whole module, functions sorted by name.
+func (m *Module) Disassemble() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s\n", m.Name)
+	var gnames []string
+	for n := range m.Globals {
+		gnames = append(gnames, n)
+	}
+	sort.Strings(gnames)
+	for _, n := range gnames {
+		g := m.Globals[n]
+		fmt.Fprintf(&b, "global %s: %d bytes @ %#x\n", g.Name, g.Size, g.Addr)
+	}
+	var fnames []string
+	for n := range m.Funcs {
+		fnames = append(fnames, n)
+	}
+	sort.Strings(fnames)
+	for _, n := range fnames {
+		b.WriteString(m.Funcs[n].Disassemble())
+	}
+	return b.String()
+}
+
+// NumInstrs counts instructions across the module.
+func (m *Module) NumInstrs() int {
+	n := 0
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			n += len(b.Instrs)
+		}
+	}
+	return n
+}

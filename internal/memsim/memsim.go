@@ -1,0 +1,405 @@
+// Package memsim simulates the DUT's memory hierarchy: three levels of
+// set-associative caches with LRU replacement, an inclusive L3 whose slice
+// selection comes from a *hidden* hash (the stand-in for Intel's
+// proprietary slice function), virtual→physical hugepage mapping that is
+// re-randomized per simulated reboot, and DDIO placement of packet headers.
+//
+// The simulator stands in for the paper's Intel Xeon E5-2667v2 testbed.
+// Geometry is scaled down (see DESIGN.md) but preserves every ratio that
+// the evaluation relies on. The secret slice hash is deliberately
+// unexported: internal/cachemodel may only learn it the way the paper does
+// — by timing pointer-chase probes (§3.2).
+package memsim
+
+import (
+	"fmt"
+
+	"castan/internal/stats"
+)
+
+// Level identifies where an access was served.
+type Level uint8
+
+// Cache levels.
+const (
+	L1 Level = iota
+	L2
+	L3
+	DRAM
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case L1:
+		return "L1"
+	case L2:
+		return "L2"
+	case L3:
+		return "L3"
+	default:
+		return "DRAM"
+	}
+}
+
+// Geometry describes the simulated processor's memory system.
+type Geometry struct {
+	LineBytes int // cache line size
+
+	L1Sets, L1Ways int
+	L2Sets, L2Ways int
+	// The L3 is organized as Slices × SetsPerSlice sets of L3Ways lines;
+	// the slice (and set) for a physical line is chosen by a hidden hash.
+	L3Slices, L3SetsPerSlice, L3Ways int
+
+	PageBits int // hugepage size (paper: 30 → 1 GB pages)
+
+	LatL1, LatL2, LatL3, LatDRAM uint64 // load-to-use latencies in cycles
+
+	ClockGHz float64
+}
+
+// DefaultGeometry mirrors the scaled-down Xeon of DESIGN.md: 8 KiB/8-way
+// L1d, 32 KiB/8-way L2, 128 KiB/16-way L3 over 4 slices (128 contention
+// sets, like the paper's 20480-set L3 scaled by the same factor as the NF
+// tables), 1 GB pages, 3.3 GHz.
+func DefaultGeometry() Geometry {
+	return Geometry{
+		LineBytes: 64,
+		L1Sets:    16, L1Ways: 8, // 8 KiB
+		L2Sets: 64, L2Ways: 8, // 32 KiB
+		L3Slices: 4, L3SetsPerSlice: 32, L3Ways: 16, // 128 KiB
+		PageBits: 30,
+		LatL1:    4, LatL2: 12, LatL3: 42, LatDRAM: 210,
+		ClockGHz: 3.3,
+	}
+}
+
+// TinyGeometry is a deliberately small hierarchy for fast unit tests:
+// 4-set/2-way L1, 8-set/2-way L2, 2-slice × 2-set × 4-way L3.
+func TinyGeometry() Geometry {
+	return Geometry{
+		LineBytes: 64,
+		L1Sets:    4, L1Ways: 2,
+		L2Sets: 8, L2Ways: 2,
+		L3Slices: 2, L3SetsPerSlice: 2, L3Ways: 4,
+		PageBits: 20,
+		LatL1:    4, LatL2: 12, LatL3: 42, LatDRAM: 210,
+		ClockGHz: 3.3,
+	}
+}
+
+// L3Bytes returns the total L3 capacity.
+func (g Geometry) L3Bytes() int {
+	return g.L3Slices * g.L3SetsPerSlice * g.L3Ways * g.LineBytes
+}
+
+// L3Assoc returns the L3 associativity α: the number of lines from one
+// contention set that fit without evictions.
+func (g Geometry) L3Assoc() int { return g.L3Ways }
+
+// NumContentionSets returns how many distinct contention sets exist.
+func (g Geometry) NumContentionSets() int { return g.L3Slices * g.L3SetsPerSlice }
+
+// Counters accumulate per-level access statistics.
+type Counters struct {
+	Accesses uint64
+	L1Hits   uint64
+	L2Hits   uint64
+	L3Hits   uint64
+	DRAM     uint64
+}
+
+// cache is one set-associative level with LRU replacement.
+type cache struct {
+	sets  int
+	ways  int
+	tags  []uint64 // sets × ways line addresses; 0 = empty (line 0 unused)
+	stamp []uint64 // LRU timestamps
+	clock uint64
+}
+
+func newCache(sets, ways int) *cache {
+	return &cache{
+		sets:  sets,
+		ways:  ways,
+		tags:  make([]uint64, sets*ways),
+		stamp: make([]uint64, sets*ways),
+	}
+}
+
+func (c *cache) reset() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.stamp[i] = 0
+	}
+	c.clock = 0
+}
+
+// lookup probes set for line; on hit it refreshes LRU and returns true.
+func (c *cache) lookup(set int, line uint64) bool {
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == line {
+			c.clock++
+			c.stamp[base+w] = c.clock
+			return true
+		}
+	}
+	return false
+}
+
+// insert fills line into set, returning the evicted line (0 if none).
+func (c *cache) insert(set int, line uint64) uint64 {
+	base := set * c.ways
+	victim := base
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == 0 {
+			victim = base + w
+			break
+		}
+		if c.stamp[base+w] < c.stamp[victim] {
+			victim = base + w
+		}
+	}
+	evicted := c.tags[victim]
+	c.tags[victim] = line
+	c.clock++
+	c.stamp[victim] = c.clock
+	return evicted
+}
+
+// invalidate removes line from set if present.
+func (c *cache) invalidate(set int, line uint64) {
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == line {
+			c.tags[base+w] = 0
+			c.stamp[base+w] = 0
+			return
+		}
+	}
+}
+
+// Hierarchy is one simulated machine's memory system.
+type Hierarchy struct {
+	geo Geometry
+
+	// secret parameterizes the hidden L3 slice/set hash. It is derived
+	// from the machine seed and never exposed; internal/cachemodel must
+	// reverse-engineer contention behaviour through ProbeTime.
+	secretF uint64
+	secretG uint64
+
+	pageMap map[uint64]uint64
+	pageRng *stats.RNG
+	nextPPN uint64
+
+	l1, l2, l3 *cache
+
+	Stats Counters
+}
+
+// New creates a hierarchy with the given geometry. The seed fixes the
+// hidden hash; Reboot re-randomizes only the page mapping, as a real
+// reboot would.
+func New(geo Geometry, seed uint64) *Hierarchy {
+	if geo.LineBytes == 0 {
+		geo = DefaultGeometry()
+	}
+	r := stats.NewRNG(seed)
+	h := &Hierarchy{
+		geo:     geo,
+		secretF: r.Uint64() | 1,
+		secretG: r.Uint64() | 1,
+		l1:      newCache(geo.L1Sets, geo.L1Ways),
+		l2:      newCache(geo.L2Sets, geo.L2Ways),
+		l3:      newCache(geo.L3Slices*geo.L3SetsPerSlice, geo.L3Ways),
+	}
+	h.Reboot(seed)
+	return h
+}
+
+// Geometry returns the configured geometry.
+func (h *Hierarchy) Geometry() Geometry { return h.geo }
+
+// Reboot installs a fresh random virtual→physical hugepage mapping and
+// clears the caches, emulating a machine reboot.
+func (h *Hierarchy) Reboot(bootID uint64) {
+	h.pageRng = stats.NewRNG(bootID*0x9e3779b97f4a7c15 + 1)
+	h.pageMap = map[uint64]uint64{}
+	h.nextPPN = 0
+	h.Flush()
+}
+
+// Flush clears all cache levels (but keeps the page mapping).
+func (h *Hierarchy) Flush() {
+	h.l1.reset()
+	h.l2.reset()
+	h.l3.reset()
+}
+
+// ResetCounters zeroes the counters.
+func (h *Hierarchy) ResetCounters() { h.Stats = Counters{} }
+
+// translate maps a virtual address to a physical one through the hugepage
+// table, allocating a random physical page on first touch.
+func (h *Hierarchy) translate(vaddr uint64) uint64 {
+	vpn := vaddr >> h.geo.PageBits
+	ppn, ok := h.pageMap[vpn]
+	if !ok {
+		// Random physical page, unique per virtual page.
+		ppn = (h.pageRng.Uint64() << 8) | h.nextPPN
+		h.nextPPN++
+		h.pageMap[vpn] = ppn
+	}
+	off := vaddr & ((1 << h.geo.PageBits) - 1)
+	return ppn<<h.geo.PageBits | off
+}
+
+func mix(v, key uint64) uint64 {
+	v *= key
+	v ^= v >> 29
+	v *= 0xff51afd7ed558ccd
+	v ^= v >> 32
+	return v
+}
+
+// l3Set computes the hidden L3 (slice, set) index for a physical line
+// address. The hash decomposes as f(in-page bits) XOR g(page bits): the
+// in-page component is a stable function, and the page component is a
+// constant XOR within each hugepage — the structure that makes the
+// paper's cross-reboot consistency filtering meaningful.
+func (h *Hierarchy) l3Set(pline uint64) int {
+	n := uint64(h.geo.L3Slices * h.geo.L3SetsPerSlice) // power of two
+	pageLines := uint64(1) << (h.geo.PageBits - lineShift(h.geo))
+	inPage := pline & (pageLines - 1)
+	page := pline >> (h.geo.PageBits - lineShift(h.geo))
+	f := mix(inPage, h.secretF)
+	g := mix(page, h.secretG)
+	return int((f ^ g) & (n - 1))
+}
+
+func lineShift(g Geometry) int {
+	s := 0
+	for 1<<s < g.LineBytes {
+		s++
+	}
+	return s
+}
+
+// Access simulates one memory access of the given size at a virtual
+// address, updating counters, and returns the serving level and its cycle
+// cost. Accesses spanning a line boundary touch both lines (costs sum,
+// the slower level is reported).
+func (h *Hierarchy) Access(vaddr uint64, size uint8, write bool) (Level, uint64) {
+	lb := uint64(h.geo.LineBytes)
+	first := vaddr &^ (lb - 1)
+	last := (vaddr + uint64(size) - 1) &^ (lb - 1)
+	lvl, cyc := h.accessLine(first)
+	for line := first + lb; line <= last; line += lb {
+		l2, c2 := h.accessLine(line)
+		cyc += c2
+		if l2 > lvl {
+			lvl = l2
+		}
+	}
+	return lvl, cyc
+}
+
+// accessLine performs the per-line hit/miss/fill logic.
+func (h *Hierarchy) accessLine(vline uint64) (Level, uint64) {
+	h.Stats.Accesses++
+	pline := h.translate(vline) >> lineShift(h.geo)
+	// Tag 0 means "empty way"; offset all line tags by +1 to disambiguate.
+	tag := pline + 1
+
+	l1set := int(pline % uint64(h.geo.L1Sets))
+	if h.l1.lookup(l1set, tag) {
+		h.Stats.L1Hits++
+		return L1, h.geo.LatL1
+	}
+	l2set := int(pline % uint64(h.geo.L2Sets))
+	if h.l2.lookup(l2set, tag) {
+		h.Stats.L2Hits++
+		h.l1.insert(l1set, tag)
+		return L2, h.geo.LatL2
+	}
+	l3set := h.l3Set(pline)
+	if h.l3.lookup(l3set, tag) {
+		h.Stats.L3Hits++
+		h.l2.insert(l2set, tag)
+		h.l1.insert(l1set, tag)
+		return L3, h.geo.LatL3
+	}
+	// Miss everywhere: fill all levels; the L3 is inclusive, so an L3
+	// eviction back-invalidates L1 and L2.
+	h.Stats.DRAM++
+	if evicted := h.l3.insert(l3set, tag); evicted != 0 {
+		ep := evicted - 1
+		h.l1.invalidate(int(ep%uint64(h.geo.L1Sets)), evicted)
+		h.l2.invalidate(int(ep%uint64(h.geo.L2Sets)), evicted)
+	}
+	h.l2.insert(l2set, tag)
+	h.l1.insert(l1set, tag)
+	return DRAM, h.geo.LatDRAM
+}
+
+// InjectPacket emulates DDIO: the NIC writes the arriving packet's header
+// lines straight into the L3 (and, for our single-queue model, warms them
+// through to L1 as drivers touch descriptors), so the first header access
+// does not pay a compulsory DRAM miss. No cycles are charged to the NF.
+func (h *Hierarchy) InjectPacket(vaddr uint64, length int) {
+	lb := uint64(h.geo.LineBytes)
+	end := vaddr + uint64(length)
+	// DDIO placement is not an NF memory access: preserve the counters.
+	saved := h.Stats
+	for line := vaddr &^ (lb - 1); line < end; line += lb {
+		h.accessLine(line)
+	}
+	h.Stats = saved
+}
+
+// ProbeTime measures the cost, in cycles, of sequentially reading every
+// address in addrs, rounds times, emulating a pointer-chase probe loop.
+// Caches are flushed first so measurements are reproducible; the first
+// (cold) round is excluded from the returned time, like a warm-up pass.
+func (h *Hierarchy) ProbeTime(addrs []uint64, rounds int) uint64 {
+	if rounds < 1 {
+		rounds = 1
+	}
+	h.Flush()
+	saved := h.Stats
+	for _, a := range addrs {
+		h.accessLine(a &^ (uint64(h.geo.LineBytes) - 1))
+	}
+	var total uint64
+	for r := 0; r < rounds; r++ {
+		for _, a := range addrs {
+			_, cyc := h.accessLine(a &^ (uint64(h.geo.LineBytes) - 1))
+			total += cyc
+		}
+	}
+	h.Stats = saved
+	return total
+}
+
+// CyclesToNanos converts cycles to nanoseconds at the configured clock.
+func (h *Hierarchy) CyclesToNanos(cycles uint64) float64 {
+	return float64(cycles) / h.geo.ClockGHz
+}
+
+// DebugContentionSet is a test-only backdoor (used by memsim's own tests,
+// not by cachemodel) returning the hidden (slice,set) index of a virtual
+// address.
+func (h *Hierarchy) DebugContentionSet(vaddr uint64) int {
+	return h.l3Set(h.translate(vaddr) >> lineShift(h.geo))
+}
+
+// String summarizes the geometry.
+func (g Geometry) String() string {
+	return fmt.Sprintf("L1 %dKiB/%d-way, L2 %dKiB/%d-way, L3 %dKiB/%d-way×%d slices, %d B lines, %d-bit pages",
+		g.L1Sets*g.L1Ways*g.LineBytes/1024, g.L1Ways,
+		g.L2Sets*g.L2Ways*g.LineBytes/1024, g.L2Ways,
+		g.L3Bytes()/1024, g.L3Ways, g.L3Slices, g.LineBytes, g.PageBits)
+}

@@ -1,0 +1,73 @@
+package nf
+
+// Route is one forwarding-table entry.
+type Route struct {
+	Prefix uint32 // network-order numeric prefix, host bits zero
+	Len    int    // prefix length in bits
+	Port   uint32 // next-hop identifier, nonzero
+}
+
+// DefaultFIB reproduces the paper's forwarding table: 8 routes each of
+// /8, /16 and /24 (plus /32 when the data structure supports it), chosen
+// to overlap as much as possible — each prefix contains a more specific
+// one.
+func DefaultFIB(with32 bool) []Route {
+	var routes []Route
+	port := uint32(1)
+	for i := uint32(0); i < 8; i++ {
+		base := (10 + i) << 24
+		routes = append(routes,
+			Route{Prefix: base, Len: 8, Port: port},
+			Route{Prefix: base | 1<<16, Len: 16, Port: port + 1},
+			Route{Prefix: base | 1<<16 | 2<<8, Len: 24, Port: port + 2},
+		)
+		port += 3
+		if with32 {
+			routes = append(routes, Route{Prefix: base | 1<<16 | 2<<8 | 3, Len: 32, Port: port})
+			port++
+		}
+	}
+	return routes
+}
+
+// LookupFIB returns the longest-prefix-match port for addr over routes
+// (reference implementation used by the native NFs and differential
+// tests). Returns 0 when no route matches.
+func LookupFIB(routes []Route, addr uint32) uint32 {
+	best, bestLen := uint32(0), -1
+	for _, r := range routes {
+		mask := prefixMask(r.Len)
+		if addr&mask == r.Prefix&mask && r.Len > bestLen {
+			best, bestLen = r.Port, r.Len
+		}
+	}
+	return best
+}
+
+func prefixMask(l int) uint32 {
+	if l <= 0 {
+		return 0
+	}
+	if l >= 32 {
+		return ^uint32(0)
+	}
+	return ^uint32(0) << (32 - l)
+}
+
+// MostSpecificAddrs returns one address per deepest route (the /32s if
+// present, else the /24s): the targets of the Manual trie workload.
+func MostSpecificAddrs(routes []Route) []uint32 {
+	maxLen := 0
+	for _, r := range routes {
+		if r.Len > maxLen {
+			maxLen = r.Len
+		}
+	}
+	var out []uint32
+	for _, r := range routes {
+		if r.Len == maxLen {
+			out = append(out, r.Prefix|0x03) // host bits that keep matching /32s exact
+		}
+	}
+	return out
+}

@@ -1,0 +1,218 @@
+package nf
+
+import (
+	"castan/internal/ir"
+	"castan/internal/nfhash"
+)
+
+// Associative-array sizing (scaled from the paper per DESIGN.md; the
+// ratios to the workload flow counts and the L3 are what matter):
+//
+//   - chain: 4096 buckets (paper: 65536), 12-bit hash — the UniRand flow
+//     universe is 16× the bucket count, like the paper's 1M vs 65536;
+//   - ring: 2^20 cache-aligned entries = 64 MiB (paper: 16.7M entries in
+//     1 GB), 20-bit hash — the ring dwarfs the L3, so cache contention is
+//     the dominant attack (§5.4, Fig. 13).
+const (
+	ChainBuckets  = 4096
+	ChainHashBits = 12
+	RingEntries   = 1 << 20
+	RingHashBits  = 20
+	ringEntrySize = 64
+)
+
+// flowTable abstracts the four associative-array implementations under a
+// common IR calling convention:
+//
+//	hash:   emitted inline in the NF (havocable); trees return 0
+//	lookup: (h, hi, lo) -> value (0 = miss)
+//	insert: (h, hi, lo, value) -> 0
+//
+// (hi, lo) is the 13-byte flow key packed into two overlapping 64-bit
+// words (bytes 0-7 and 5-12): equality of both words is equivalent to
+// equality of all 13 bytes, and their lexicographic order is a total
+// order, which is all the trees need.
+type flowTable interface {
+	name() string
+	// declare registers globals and hash functions; called before Layout.
+	declare(mod *ir.Module)
+	// define builds the lookup/insert IR functions; called after Layout.
+	define(mod *ir.Module)
+	// hash emits the (havocable) hash computation over the key buffer,
+	// returning the hash register (0 constant for hash-free tables).
+	hash(fb *ir.FuncBuilder, keyBuf ir.Reg) ir.Reg
+	lookupFn() *ir.Func
+	insertFn() *ir.Func
+	regions() []Region
+	hashes() []HashUse
+}
+
+// newFlowTable constructs a table whose globals and functions carry the
+// given name prefix, so a NAT can host two independent instances in one
+// module.
+func newFlowTable(kind, prefix string) flowTable {
+	switch kind {
+	case "chain":
+		return &chainTable{prefix: prefix}
+	case "ring":
+		return &ringTable{prefix: prefix}
+	case "ubtree":
+		return &ubTable{prefix: prefix}
+	case "rbtree":
+		return &rbTable{prefix: prefix}
+	}
+	panic("nf: unknown flow table " + kind)
+}
+
+// --- chaining hash table -------------------------------------------------
+
+// chainTable is the 4096-bucket separate-chaining hash table: collisions
+// land in per-bucket linked lists, so an adversary causing systematic
+// collisions turns lookup into a list walk (§5.4, Fig. 12/14).
+//
+// Node layout: next(8) hi(8) lo(8) val(8).
+type chainTable struct {
+	prefix  string
+	buckets *ir.Global
+	hid     int
+	lookup  *ir.Func
+	insert  *ir.Func
+}
+
+func (c *chainTable) name() string { return "chain" }
+
+func (c *chainTable) declare(mod *ir.Module) {
+	c.buckets = mod.AddGlobal(c.prefix+"chain_buckets", ChainBuckets*8, 4096)
+	c.hid = mod.AddHash(c.prefix+"table-hash", ChainHashBits, nfhash.TableHash)
+}
+
+func (c *chainTable) hash(fb *ir.FuncBuilder, keyBuf ir.Reg) ir.Reg {
+	return fb.Havoc(c.hid, keyBuf, nfhash.FlowKeyLen)
+}
+
+func (c *chainTable) define(mod *ir.Module) {
+	{
+		fb := mod.NewFunc(c.prefix+"chain_lookup", 3)
+		h, hi, lo := fb.Param(0), fb.Param(1), fb.Param(2)
+		slot := fb.Add(fb.GlobalAddr(c.buckets), fb.MulImm(h, 8))
+		node := fb.Var(fb.Load(slot, 0, 8))
+		fb.While(func() ir.Reg { return fb.CmpNeImm(node.R(), 0) }, func() {
+			eq := fb.And(
+				fb.CmpEq(fb.Load(node.R(), 8, 8), hi),
+				fb.CmpEq(fb.Load(node.R(), 16, 8), lo))
+			fb.If(eq, func() {
+				fb.Ret(fb.Load(node.R(), 24, 8))
+			}, nil)
+			node.Set(fb.Load(node.R(), 0, 8))
+		})
+		fb.RetImm(0)
+		c.lookup = fb.Seal()
+	}
+	{
+		fb := mod.NewFunc(c.prefix+"chain_insert", 4)
+		h, hi, lo, val := fb.Param(0), fb.Param(1), fb.Param(2), fb.Param(3)
+		slot := fb.Add(fb.GlobalAddr(c.buckets), fb.MulImm(h, 8))
+		node := fb.AllocImm(32)
+		fb.Store(node, 0, fb.Load(slot, 0, 8), 8) // next = old head
+		fb.Store(node, 8, hi, 8)
+		fb.Store(node, 16, lo, 8)
+		fb.Store(node, 24, val, 8)
+		fb.Store(slot, 0, node, 8)
+		fb.RetImm(0)
+		c.insert = fb.Seal()
+	}
+}
+
+func (c *chainTable) lookupFn() *ir.Func { return c.lookup }
+func (c *chainTable) insertFn() *ir.Func { return c.insert }
+
+func (c *chainTable) regions() []Region {
+	return []Region{{Name: c.prefix + "chain-buckets", Addr: c.buckets.Addr, Size: c.buckets.Size}}
+}
+
+func (c *chainTable) hashes() []HashUse {
+	return []HashUse{{HashID: c.hid, Bits: ChainHashBits, Fn: nfhash.TableHash}}
+}
+
+// --- open-addressing hash ring -------------------------------------------
+
+// ringTable is the open-addressing hash ring: one cache-aligned entry per
+// slot in a circular array; collisions probe forward. Its sheer size makes
+// adversarial *memory access* the dominant attack (§5.4, Fig. 13/15).
+//
+// Entry layout (64 B): occ(8) hi(8) lo(8) val(8) pad(32).
+type ringTable struct {
+	prefix string
+	ring   *ir.Global
+	hid    int
+	lookup *ir.Func
+	insert *ir.Func
+}
+
+func (r *ringTable) name() string { return "ring" }
+
+func (r *ringTable) declare(mod *ir.Module) {
+	r.ring = mod.AddGlobal(r.prefix+"hash_ring", RingEntries*ringEntrySize, 4096)
+	r.hid = mod.AddHash(r.prefix+"ring-hash", RingHashBits, nfhash.RingHash)
+}
+
+func (r *ringTable) hash(fb *ir.FuncBuilder, keyBuf ir.Reg) ir.Reg {
+	return fb.Havoc(r.hid, keyBuf, nfhash.FlowKeyLen)
+}
+
+func (r *ringTable) define(mod *ir.Module) {
+	mask := uint64(RingEntries - 1)
+	{
+		fb := mod.NewFunc(r.prefix+"ring_lookup", 3)
+		h, hi, lo := fb.Param(0), fb.Param(1), fb.Param(2)
+		base := fb.GlobalAddr(r.ring)
+		i := fb.Var(h)
+		probes := fb.VarImm(0)
+		fb.While(func() ir.Reg { return fb.CmpUlt(probes.R(), fb.Const(RingEntries)) }, func() {
+			e := fb.Add(base, fb.MulImm(fb.AndImm(i.R(), mask), ringEntrySize))
+			occ := fb.Load(e, 0, 8)
+			fb.If(fb.CmpEqImm(occ, 0), func() { fb.RetImm(0) }, nil)
+			eq := fb.And(
+				fb.CmpEq(fb.Load(e, 8, 8), hi),
+				fb.CmpEq(fb.Load(e, 16, 8), lo))
+			fb.If(eq, func() { fb.Ret(fb.Load(e, 24, 8)) }, nil)
+			i.Set(fb.AddImm(i.R(), 1))
+			probes.Set(fb.AddImm(probes.R(), 1))
+		})
+		fb.RetImm(0)
+		r.lookup = fb.Seal()
+	}
+	{
+		fb := mod.NewFunc(r.prefix+"ring_insert", 4)
+		h, hi, lo, val := fb.Param(0), fb.Param(1), fb.Param(2), fb.Param(3)
+		base := fb.GlobalAddr(r.ring)
+		i := fb.Var(h)
+		probes := fb.VarImm(0)
+		fb.While(func() ir.Reg { return fb.CmpUlt(probes.R(), fb.Const(RingEntries)) }, func() {
+			e := fb.Add(base, fb.MulImm(fb.AndImm(i.R(), mask), ringEntrySize))
+			occ := fb.Load(e, 0, 8)
+			fb.If(fb.CmpEqImm(occ, 0), func() {
+				fb.Store(e, 0, fb.Const(1), 8)
+				fb.Store(e, 8, hi, 8)
+				fb.Store(e, 16, lo, 8)
+				fb.Store(e, 24, val, 8)
+				fb.RetImm(0)
+			}, nil)
+			i.Set(fb.AddImm(i.R(), 1))
+			probes.Set(fb.AddImm(probes.R(), 1))
+		})
+		fb.RetImm(0) // ring full: drop the flow
+		r.insert = fb.Seal()
+	}
+}
+
+func (r *ringTable) lookupFn() *ir.Func { return r.lookup }
+func (r *ringTable) insertFn() *ir.Func { return r.insert }
+
+func (r *ringTable) regions() []Region {
+	return []Region{{Name: r.prefix + "hash-ring", Addr: r.ring.Addr, Size: r.ring.Size}}
+}
+
+func (r *ringTable) hashes() []HashUse {
+	return []HashUse{{HashID: r.hid, Bits: RingHashBits, Fn: nfhash.RingHash}}
+}

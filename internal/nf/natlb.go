@@ -1,0 +1,274 @@
+package nf
+
+import (
+	"fmt"
+
+	"castan/internal/interp"
+	"castan/internal/ir"
+	"castan/internal/nfhash"
+	"castan/internal/packet"
+)
+
+// Network identities used by the NAT and LB (setup-time configuration).
+const (
+	NATInternalNet  = uint32(0x0a000000) // 10.0.0.0/8 is "inside"
+	NATInternalMask = uint32(0xff000000)
+	NATExternalIP   = uint32(0xc0a80101) // 192.168.1.1
+	NATFirstPort    = 10000
+	LBVIP           = uint32(0xc0a80164) // 192.168.1.100
+	LBBackends      = 16
+	LBBackendBase   = uint32(0x0ac80001) // 10.200.0.1 ...
+)
+
+// newFlowNF builds a NAT or LB over the named flow-table implementation.
+// This is where the paper's per-flow-state NFs come together: key
+// extraction from the 5-tuple, a havocable hash, lookup, miss-path
+// insertion, and header rewriting — all in IR.
+func newFlowNF(kind, table string) (*Instance, error) {
+	ft := newFlowTable(table, "")
+	name := kind + "-" + table
+	mod := ir.NewModule(name)
+
+	// Scratch key buffers (one per concurrent key) and config counters.
+	key1 := mod.AddGlobal("keybuf1", 64, 64)
+	key2 := mod.AddGlobal("keybuf2", 64, 64)
+	ctr := mod.AddGlobal("counter", 8, 64)
+	backends := mod.AddGlobal("backends", LBBackends*4, 64)
+	ft.declare(mod)
+	var ft2 flowTable
+	if kind == "nat" {
+		// The NAT keeps two associative arrays (outbound and return
+		// direction), each an independent instance of the same structure.
+		ft2 = newFlowTable(table, "rev_")
+		ft2.declare(mod)
+	}
+	mod.Layout()
+	ft.define(mod)
+	if ft2 != nil {
+		ft2.define(mod)
+	}
+
+	switch kind {
+	case "nat":
+		buildNAT(mod, ft, ft2, key1, key2, ctr)
+	case "lb":
+		buildLB(mod, ft, key1, ctr, backends)
+	default:
+		return nil, fmt.Errorf("nf: unknown kind %q", kind)
+	}
+
+	mach, err := finish(name, mod, func(m *interp.Machine) error {
+		m.Mem.Write(ctr.Addr, NATFirstPort, 8)
+		for i := uint32(0); i < LBBackends; i++ {
+			m.Mem.Write(backends.Addr+uint64(i)*4, uint64(LBBackendBase+i), 4)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	inst := &Instance{
+		Name:          name,
+		Mod:           mod,
+		Machine:       mach,
+		AttackRegions: ft.regions(),
+	}
+	// Attach tailored key spaces for rainbow reconciliation (§3.5).
+	for _, h := range ft.hashes() {
+		h.Space = tailoredSpace(kind)
+		inst.Hashes = append(inst.Hashes, h)
+	}
+	if ft2 != nil {
+		for _, h := range ft2.hashes() {
+			h.Space = tailoredSpace(kind)
+			inst.Hashes = append(inst.Hashes, h)
+		}
+		inst.AttackRegions = append(inst.AttackRegions, ft2.regions()...)
+	}
+	if table == "ubtree" {
+		inst.Manual = func(n int) [][]byte { return skewWorkload(kind, n) }
+	}
+	return inst, nil
+}
+
+// tailoredSpace returns the rainbow key space matching each NF's packet
+// constraints: UDP, pinned destination (the NAT's typical external server
+// or the LB's VIP), sources from the internal /16.
+func tailoredSpace(kind string) nfhash.KeySpace {
+	if kind == "lb" {
+		return nfhash.UDPFlowSpace{SrcNet: 0x0a00, DstIP: LBVIP, DstPort: 80}
+	}
+	return nfhash.UDPFlowSpace{SrcNet: 0x0a00, DstIP: 0x08080808, DstPort: 53}
+}
+
+// buildNAT emits the NAT's nf_process (§5.1 "NAT"): outbound packets from
+// the internal network get their source rewritten to the NAT's external
+// identity (per-flow port from a counter); return traffic is matched in
+// the reverse table and translated back. Two tables, two keys, two
+// havocable hashes per new flow — the structure that defeats rainbow
+// reconciliation in §5.4.
+func buildNAT(mod *ir.Module, fwd, rev flowTable, key1, key2, ctr *ir.Global) {
+	fb := mod.NewFunc("nf_process", 2)
+	pkt := fb.Param(0)
+	emitIPv4Guard(fb, pkt)
+	proto := emitL4Guard(fb, pkt)
+
+	src := fb.Load(pkt, packet.OffIPSrc, 4)
+	dst := fb.Load(pkt, packet.OffIPDst, 4)
+	sp := fb.Load(pkt, packet.OffL4SrcPort, 2)
+	dp := fb.Load(pkt, packet.OffL4DstPort, 2)
+
+	k1 := fb.GlobalAddr(key1)
+	k2 := fb.GlobalAddr(key2)
+	inside := fb.CmpEq(fb.AndImm(src, uint64(NATInternalMask)), fb.Const(uint64(NATInternalNet&NATInternalMask)))
+	fb.If(inside, func() {
+		// Outbound: key1 = (src,dst,sp,dp,proto).
+		emitKeyStore(fb, k1, src, dst, sp, dp, proto)
+		hi, lo := emitKeyPack(fb, k1)
+		h := fwd.hash(fb, k1)
+		rec := fb.Call(fwd.lookupFn(), h, hi, lo)
+		fb.If(fb.CmpEqImm(rec, 0), func() {
+			// New flow: allocate a translation record and both entries.
+			ctrAddr := fb.GlobalAddr(ctr)
+			extPort := fb.Load(ctrAddr, 0, 8)
+			fb.Store(ctrAddr, 0, fb.AddImm(extPort, 1), 8)
+			extPort16 := fb.AndImm(extPort, 0xffff)
+			nrec := fb.AllocImm(16)
+			fb.Store(nrec, 0, extPort16, 2)
+			fb.Store(nrec, 2, src, 4)
+			fb.Store(nrec, 6, sp, 2)
+			fb.Call(fwd.insertFn(), h, hi, lo, nrec)
+			// Reverse key matches the future return packet:
+			// (dst, natIP, dp, extPort, proto).
+			emitKeyStore(fb, k2, dst, fb.Const(uint64(NATExternalIP)), dp, extPort16, proto)
+			rhi, rlo := emitKeyPack(fb, k2)
+			rh := rev.hash(fb, k2)
+			fb.Call(rev.insertFn(), rh, rhi, rlo, nrec)
+			emitNATRewriteOut(fb, pkt, extPort16)
+			fb.RetImm(RetOut)
+		}, func() {
+			extPort16 := fb.Load(rec, 0, 2)
+			emitNATRewriteOut(fb, pkt, extPort16)
+			fb.RetImm(RetOut)
+		})
+	}, func() {
+		// Inbound: only packets addressed to the NAT's external identity.
+		fb.If(fb.CmpNeImm(dst, uint64(NATExternalIP)), func() {
+			fb.RetImm(RetDrop)
+		}, nil)
+		emitKeyStore(fb, k1, src, dst, sp, dp, proto)
+		hi, lo := emitKeyPack(fb, k1)
+		h := rev.hash(fb, k1)
+		rec := fb.Call(rev.lookupFn(), h, hi, lo)
+		fb.If(fb.CmpEqImm(rec, 0), func() {
+			fb.RetImm(RetDrop)
+		}, nil)
+		origIP := fb.Load(rec, 2, 4)
+		origPort := fb.Load(rec, 6, 2)
+		fb.Store(pkt, packet.OffIPDst, origIP, 4)
+		fb.Store(pkt, packet.OffL4DstPort, origPort, 2)
+		fb.RetImm(RetIn)
+	})
+	fb.RetImm(RetDrop)
+	fb.Seal()
+}
+
+// buildLB emits the load balancer's nf_process (§5.1 "LB"): VIP-destined
+// packets are pinned to a backend chosen round-robin on first sight;
+// backend-sourced return traffic is rewritten to come from the VIP.
+func buildLB(mod *ir.Module, ft flowTable, key1, ctr, backends *ir.Global) {
+	fb := mod.NewFunc("nf_process", 2)
+	pkt := fb.Param(0)
+	emitIPv4Guard(fb, pkt)
+	proto := emitL4Guard(fb, pkt)
+
+	src := fb.Load(pkt, packet.OffIPSrc, 4)
+	dst := fb.Load(pkt, packet.OffIPDst, 4)
+	sp := fb.Load(pkt, packet.OffL4SrcPort, 2)
+	dp := fb.Load(pkt, packet.OffL4DstPort, 2)
+
+	// Return traffic from a backend: source becomes the VIP.
+	fromBackend := fb.CmpEq(fb.AndImm(src, 0xffff0000), fb.Const(uint64(LBBackendBase&0xffff0000)))
+	fb.If(fromBackend, func() {
+		fb.Store(pkt, packet.OffIPSrc, fb.Const(uint64(LBVIP)), 4)
+		fb.RetImm(RetIn)
+	}, nil)
+	// Everything else must target the VIP (the paper's workloads force
+	// this case; other traffic is statically routed or dropped).
+	fb.If(fb.CmpNeImm(dst, uint64(LBVIP)), func() {
+		fb.RetImm(RetDrop)
+	}, nil)
+
+	k1 := fb.GlobalAddr(key1)
+	emitKeyStore(fb, k1, src, dst, sp, dp, proto)
+	hi, lo := emitKeyPack(fb, k1)
+	h := ft.hash(fb, k1)
+	val := fb.Call(ft.lookupFn(), h, hi, lo)
+	backend := fb.Var(val)
+	fb.If(fb.CmpEqImm(val, 0), func() {
+		ctrAddr := fb.GlobalAddr(ctr)
+		rr := fb.Load(ctrAddr, 0, 8)
+		fb.Store(ctrAddr, 0, fb.AddImm(rr, 1), 8)
+		slot := fb.URem(rr, fb.Const(LBBackends))
+		b := fb.Load(fb.Add(fb.GlobalAddr(backends), fb.MulImm(slot, 4)), 0, 4)
+		fb.Call(ft.insertFn(), h, hi, lo, b)
+		backend.Set(b)
+	}, nil)
+	fb.Store(pkt, packet.OffIPDst, backend.R(), 4)
+	fb.RetImm(RetOut)
+	fb.Seal()
+}
+
+// emitKeyStore writes the canonical 13-byte flow key into the buffer:
+// srcIP(4) dstIP(4) srcPort(2) dstPort(2) proto(1).
+func emitKeyStore(fb *ir.FuncBuilder, buf, src, dst, sp, dp, proto ir.Reg) {
+	fb.Store(buf, 0, src, 4)
+	fb.Store(buf, 4, dst, 4)
+	fb.Store(buf, 8, sp, 2)
+	fb.Store(buf, 10, dp, 2)
+	fb.Store(buf, 12, proto, 1)
+}
+
+// emitKeyPack loads the two overlapping 64-bit words covering the 13-byte
+// key (bytes 0-7 and 5-12).
+func emitKeyPack(fb *ir.FuncBuilder, buf ir.Reg) (hi, lo ir.Reg) {
+	hi = fb.Load(buf, 0, 8)
+	lo = fb.Load(buf, 5, 8)
+	return hi, lo
+}
+
+// emitNATRewriteOut rewrites an outbound packet's source to the NAT's
+// external identity.
+func emitNATRewriteOut(fb *ir.FuncBuilder, pkt, extPort ir.Reg) {
+	fb.Store(pkt, packet.OffIPSrc, fb.Const(uint64(NATExternalIP)), 4)
+	fb.Store(pkt, packet.OffL4SrcPort, extPort, 2)
+}
+
+// skewWorkload is the Manual adversarial workload for the unbalanced
+// trees (§5.3): a monotonically increasing key sequence that degenerates
+// the BST into a linked list. For the NAT that is a fixed source/dest with
+// increasing destination ports; for the LB, increasing source ports
+// toward the VIP.
+func skewWorkload(kind string, n int) [][]byte {
+	if n <= 0 {
+		n = 50
+	}
+	frames := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		spec := packet.Spec{Proto: packet.ProtoUDP}
+		if kind == "nat" {
+			spec.SrcIP = NATInternalNet | 0x0101
+			spec.DstIP = 0x08080808
+			spec.SrcPort = 7777
+			spec.DstPort = uint16(1000 + i)
+		} else {
+			spec.SrcIP = 0x01010101
+			spec.DstIP = LBVIP
+			spec.SrcPort = uint16(1000 + i)
+			spec.DstPort = 80
+		}
+		frames = append(frames, packet.Build(spec))
+	}
+	return frames
+}

@@ -1,0 +1,299 @@
+package nf
+
+import (
+	"castan/internal/ir"
+)
+
+// Unbalanced binary search tree (§5.3): plain BST keyed by the packed
+// (hi, lo) flow key; no rebalancing, so ordered insertions degenerate it
+// into a linked list — the skew CASTAN's workloads exploit (Fig. 9/10).
+//
+// Node layout: left(0) right(8) hi(16) lo(24) val(32), 40 bytes.
+type ubTable struct {
+	prefix string
+	root   *ir.Global
+	lookup *ir.Func
+	insert *ir.Func
+}
+
+func (u *ubTable) name() string { return "ubtree" }
+
+func (u *ubTable) declare(mod *ir.Module) {
+	u.root = mod.AddGlobal(u.prefix+"ubtree_root", 8, 64)
+}
+
+func (u *ubTable) hash(fb *ir.FuncBuilder, keyBuf ir.Reg) ir.Reg {
+	return fb.Const(0)
+}
+
+// emitKeyCompare emits the three-way lexicographic comparison of (hi,lo)
+// against (nhi,nlo) as nested branches — the shape a compiler gives
+// operator< — invoking exactly one of the callbacks.
+func emitKeyCompare(fb *ir.FuncBuilder, hi, lo, nhi, nlo ir.Reg, onLess, onGreater, onEqual func()) {
+	fb.If(fb.CmpUlt(hi, nhi), onLess, func() {
+		fb.If(fb.CmpUlt(nhi, hi), onGreater, func() {
+			fb.If(fb.CmpUlt(lo, nlo), onLess, func() {
+				fb.If(fb.CmpUlt(nlo, lo), onGreater, onEqual)
+			})
+		})
+	})
+}
+
+func (u *ubTable) define(mod *ir.Module) {
+	{
+		fb := mod.NewFunc(u.prefix+"ub_lookup", 3)
+		_, hi, lo := fb.Param(0), fb.Param(1), fb.Param(2)
+		node := fb.Var(fb.Load(fb.GlobalAddr(u.root), 0, 8))
+		fb.While(func() ir.Reg { return fb.CmpNeImm(node.R(), 0) }, func() {
+			nhi := fb.Load(node.R(), 16, 8)
+			nlo := fb.Load(node.R(), 24, 8)
+			emitKeyCompare(fb, hi, lo, nhi, nlo,
+				func() { node.Set(fb.Load(node.R(), 0, 8)) },
+				func() { node.Set(fb.Load(node.R(), 8, 8)) },
+				func() { fb.Ret(fb.Load(node.R(), 32, 8)) })
+		})
+		fb.RetImm(0)
+		u.lookup = fb.Seal()
+	}
+	{
+		fb := mod.NewFunc(u.prefix+"ub_insert", 4)
+		_, hi, lo, val := fb.Param(0), fb.Param(1), fb.Param(2), fb.Param(3)
+		rootAddr := fb.GlobalAddr(u.root)
+		node := fb.Var(fb.Load(rootAddr, 0, 8))
+		parent := fb.VarImm(0)
+		side := fb.VarImm(0) // 0 = left field, 8 = right field
+		fb.While(func() ir.Reg { return fb.CmpNeImm(node.R(), 0) }, func() {
+			nhi := fb.Load(node.R(), 16, 8)
+			nlo := fb.Load(node.R(), 24, 8)
+			parent.Set(node.R())
+			emitKeyCompare(fb, hi, lo, nhi, nlo,
+				func() {
+					side.SetImm(0)
+					node.Set(fb.Load(node.R(), 0, 8))
+				},
+				func() {
+					side.SetImm(8)
+					node.Set(fb.Load(node.R(), 8, 8))
+				},
+				func() {
+					fb.Store(node.R(), 32, val, 8) // update in place
+					fb.RetImm(0)
+				})
+		})
+		n := fb.AllocImm(40)
+		fb.Store(n, 16, hi, 8)
+		fb.Store(n, 24, lo, 8)
+		fb.Store(n, 32, val, 8)
+		fb.If(fb.CmpEqImm(parent.R(), 0), func() {
+			fb.Store(rootAddr, 0, n, 8)
+		}, func() {
+			fb.Store(fb.Add(parent.R(), side.R()), 0, n, 8)
+		})
+		fb.RetImm(0)
+		u.insert = fb.Seal()
+	}
+}
+
+func (u *ubTable) lookupFn() *ir.Func { return u.lookup }
+func (u *ubTable) insertFn() *ir.Func { return u.insert }
+func (u *ubTable) regions() []Region {
+	// Tree nodes live on the heap; the attack surface is algorithmic, not
+	// a fixed region, so expose no contention pool.
+	return nil
+}
+func (u *ubTable) hashes() []HashUse { return nil }
+
+// Red-black tree (§5.3): the std::map stand-in. Same key scheme as the
+// unbalanced tree but with standard RB insertion fixup, so skew attacks
+// are rebalanced away (Fig. 11).
+//
+// Node layout: left(0) right(8) parent(16) color(24: 1=red) hi(32) lo(40)
+// val(48), 56 bytes.
+type rbTable struct {
+	prefix string
+	root   *ir.Global
+	lookup *ir.Func
+	insert *ir.Func
+}
+
+const (
+	rbLeft   = 0
+	rbRight  = 8
+	rbParent = 16
+	rbColor  = 24
+	rbHi     = 32
+	rbLo     = 40
+	rbVal    = 48
+	rbSize   = 56
+)
+
+func (r *rbTable) name() string { return "rbtree" }
+
+func (r *rbTable) declare(mod *ir.Module) {
+	r.root = mod.AddGlobal(r.prefix+"rbtree_root", 8, 64)
+}
+
+func (r *rbTable) hash(fb *ir.FuncBuilder, keyBuf ir.Reg) ir.Reg {
+	return fb.Const(0)
+}
+
+func (r *rbTable) define(mod *ir.Module) {
+	rot := func(name string, primary, opposite uint64) *ir.Func {
+		// rotate x with its `opposite` child y: y takes x's place.
+		fb := mod.NewFunc(name, 1)
+		x := fb.Param(0)
+		rootAddr := fb.GlobalAddr(r.root)
+		y := fb.Load(x, opposite, 8)
+		// x.opposite = y.primary
+		yp := fb.Load(y, primary, 8)
+		fb.Store(x, opposite, yp, 8)
+		fb.If(fb.CmpNeImm(yp, 0), func() {
+			fb.Store(yp, rbParent, x, 8)
+		}, nil)
+		// y.parent = x.parent
+		p := fb.Load(x, rbParent, 8)
+		fb.Store(y, rbParent, p, 8)
+		fb.If(fb.CmpEqImm(p, 0), func() {
+			fb.Store(rootAddr, 0, y, 8)
+		}, func() {
+			isPrim := fb.CmpEq(fb.Load(p, primary, 8), x)
+			fb.If(isPrim, func() {
+				fb.Store(p, primary, y, 8)
+			}, func() {
+				fb.Store(p, opposite, y, 8)
+			})
+		})
+		// y.primary = x; x.parent = y
+		fb.Store(y, primary, x, 8)
+		fb.Store(x, rbParent, y, 8)
+		fb.RetImm(0)
+		return fb.Seal()
+	}
+	rotl := rot(r.prefix+"rb_rotl", rbLeft, rbRight)
+	rotr := rot(r.prefix+"rb_rotr", rbRight, rbLeft)
+
+	{
+		fb := mod.NewFunc(r.prefix+"rb_lookup", 3)
+		_, hi, lo := fb.Param(0), fb.Param(1), fb.Param(2)
+		node := fb.Var(fb.Load(fb.GlobalAddr(r.root), 0, 8))
+		fb.While(func() ir.Reg { return fb.CmpNeImm(node.R(), 0) }, func() {
+			nhi := fb.Load(node.R(), rbHi, 8)
+			nlo := fb.Load(node.R(), rbLo, 8)
+			emitKeyCompare(fb, hi, lo, nhi, nlo,
+				func() { node.Set(fb.Load(node.R(), rbLeft, 8)) },
+				func() { node.Set(fb.Load(node.R(), rbRight, 8)) },
+				func() { fb.Ret(fb.Load(node.R(), rbVal, 8)) })
+		})
+		fb.RetImm(0)
+		r.lookup = fb.Seal()
+	}
+	{
+		fb := mod.NewFunc(r.prefix+"rb_insert", 4)
+		_, hi, lo, val := fb.Param(0), fb.Param(1), fb.Param(2), fb.Param(3)
+		rootAddr := fb.GlobalAddr(r.root)
+		// Standard BST descent.
+		node := fb.Var(fb.Load(rootAddr, 0, 8))
+		parent := fb.VarImm(0)
+		side := fb.VarImm(rbLeft)
+		fb.While(func() ir.Reg { return fb.CmpNeImm(node.R(), 0) }, func() {
+			nhi := fb.Load(node.R(), rbHi, 8)
+			nlo := fb.Load(node.R(), rbLo, 8)
+			parent.Set(node.R())
+			emitKeyCompare(fb, hi, lo, nhi, nlo,
+				func() {
+					side.SetImm(rbLeft)
+					node.Set(fb.Load(node.R(), rbLeft, 8))
+				},
+				func() {
+					side.SetImm(rbRight)
+					node.Set(fb.Load(node.R(), rbRight, 8))
+				},
+				func() {
+					fb.Store(node.R(), rbVal, val, 8)
+					fb.RetImm(0)
+				})
+		})
+		z := fb.AllocImm(rbSize)
+		fb.Store(z, rbHi, hi, 8)
+		fb.Store(z, rbLo, lo, 8)
+		fb.Store(z, rbVal, val, 8)
+		fb.Store(z, rbColor, fb.Const(1), 8) // red
+		fb.Store(z, rbParent, parent.R(), 8)
+		fb.If(fb.CmpEqImm(parent.R(), 0), func() {
+			fb.Store(rootAddr, 0, z, 8)
+		}, func() {
+			fb.Store(fb.Add(parent.R(), side.R()), 0, z, 8)
+		})
+
+		// Fixup.
+		cur := fb.Var(z)
+		fb.While(func() ir.Reg {
+			p := fb.Load(cur.R(), rbParent, 8)
+			pRed := fb.VarImm(0)
+			fb.If(fb.CmpNeImm(p, 0), func() {
+				pRed.Set(fb.Load(p, rbColor, 8))
+			}, nil)
+			return pRed.R()
+		}, func() {
+			p := fb.Load(cur.R(), rbParent, 8)
+			g := fb.Load(p, rbParent, 8)
+			fb.If(fb.CmpEqImm(g, 0), func() { fb.Break() }, nil)
+			gLeft := fb.Load(g, rbLeft, 8)
+			onLeft := fb.CmpEq(p, gLeft)
+			fb.If(onLeft, func() {
+				uncle := fb.Load(g, rbRight, 8)
+				uRed := fb.VarImm(0)
+				fb.If(fb.CmpNeImm(uncle, 0), func() {
+					uRed.Set(fb.Load(uncle, rbColor, 8))
+				}, nil)
+				fb.If(uRed.R(), func() {
+					fb.Store(p, rbColor, fb.Const(0), 8)
+					fb.Store(uncle, rbColor, fb.Const(0), 8)
+					fb.Store(g, rbColor, fb.Const(1), 8)
+					cur.Set(g)
+				}, func() {
+					fb.If(fb.CmpEq(cur.R(), fb.Load(p, rbRight, 8)), func() {
+						cur.Set(p)
+						_ = fb.Call(rotl, cur.R())
+					}, nil)
+					p2 := fb.Load(cur.R(), rbParent, 8)
+					g2 := fb.Load(p2, rbParent, 8)
+					fb.Store(p2, rbColor, fb.Const(0), 8)
+					fb.Store(g2, rbColor, fb.Const(1), 8)
+					_ = fb.Call(rotr, g2)
+				})
+			}, func() {
+				uncle := fb.Load(g, rbLeft, 8)
+				uRed := fb.VarImm(0)
+				fb.If(fb.CmpNeImm(uncle, 0), func() {
+					uRed.Set(fb.Load(uncle, rbColor, 8))
+				}, nil)
+				fb.If(uRed.R(), func() {
+					fb.Store(p, rbColor, fb.Const(0), 8)
+					fb.Store(uncle, rbColor, fb.Const(0), 8)
+					fb.Store(g, rbColor, fb.Const(1), 8)
+					cur.Set(g)
+				}, func() {
+					fb.If(fb.CmpEq(cur.R(), fb.Load(p, rbLeft, 8)), func() {
+						cur.Set(p)
+						_ = fb.Call(rotr, cur.R())
+					}, nil)
+					p2 := fb.Load(cur.R(), rbParent, 8)
+					g2 := fb.Load(p2, rbParent, 8)
+					fb.Store(p2, rbColor, fb.Const(0), 8)
+					fb.Store(g2, rbColor, fb.Const(1), 8)
+					_ = fb.Call(rotl, g2)
+				})
+			})
+		})
+		rootNode := fb.Load(rootAddr, 0, 8)
+		fb.Store(rootNode, rbColor, fb.Const(0), 8) // root is black
+		fb.RetImm(0)
+		r.insert = fb.Seal()
+	}
+}
+
+func (r *rbTable) lookupFn() *ir.Func { return r.lookup }
+func (r *rbTable) insertFn() *ir.Func { return r.insert }
+func (r *rbTable) regions() []Region  { return nil }
+func (r *rbTable) hashes() []HashUse  { return nil }

@@ -1,0 +1,126 @@
+// Package nfhash provides the hash functions the evaluated network
+// functions use to index their flow tables, plus the key-space definitions
+// shared with the rainbow-table inverter (internal/rainbow).
+//
+// Like the hashes in real NF code, these are fast mixing functions, not
+// cryptographic: CASTAN's premise (§3.5) is exactly that such hashes can
+// be reversed offline with precomputed tables even though symbolically
+// executing them would drown the solver.
+package nfhash
+
+import "encoding/binary"
+
+// TableHash indexes separate-chaining hash tables. It is a 64-bit
+// multiply-xor mix over the key (murmur-style finalization), truncated by
+// callers to the table's bit width.
+func TableHash(key []byte) uint64 {
+	h := uint64(0x9368e53c2f6af274)
+	for len(key) >= 8 {
+		k := binary.BigEndian.Uint64(key)
+		h ^= mix64(k)
+		h = h*0x100000001b3 + 0x27d4eb2f165667c5
+		key = key[8:]
+	}
+	var tail uint64
+	for _, b := range key {
+		tail = tail<<8 | uint64(b)
+	}
+	h ^= mix64(tail + uint64(len(key)))
+	return mix64(h)
+}
+
+// RingHash indexes the open-addressing hash ring. A different constant
+// family keeps it independent from TableHash.
+func RingHash(key []byte) uint64 {
+	h := uint64(0xc2b2ae3d27d4eb4f)
+	for _, b := range key {
+		h = (h ^ uint64(b)) * 0x00000100000001b3
+	}
+	return mix64(h ^ h>>17)
+}
+
+func mix64(v uint64) uint64 {
+	v ^= v >> 33
+	v *= 0xff51afd7ed558ccd
+	v ^= v >> 33
+	v *= 0xc4ceb9fe1a85ec53
+	v ^= v >> 33
+	return v
+}
+
+// Masked wraps a hash function, truncating its output to bits.
+func Masked(fn func([]byte) uint64, bits int) func([]byte) uint64 {
+	mask := uint64(1)<<uint(bits) - 1
+	if bits >= 64 {
+		mask = ^uint64(0)
+	}
+	return func(key []byte) uint64 { return fn(key) & mask }
+}
+
+// KeySpace enumerates a structured subset of an NF's key space. Rainbow
+// reduction functions map hash values back into the key space through
+// FromSeed, which is why a *tailored* space (matching the packet
+// constraints, e.g. "UDP only, this destination") makes inversion succeed
+// where a generic space would reject almost every candidate (§3.5).
+type KeySpace interface {
+	// KeyLen is the byte length of produced keys.
+	KeyLen() int
+	// FromSeed derives a key deterministically from a 64-bit seed.
+	// Distinct seeds should produce well-spread keys.
+	FromSeed(seed uint64) []byte
+}
+
+// FlowKeyLen is the canonical 13-byte 5-tuple key layout:
+// srcIP(4) dstIP(4) srcPort(2) dstPort(2) proto(1).
+const FlowKeyLen = 13
+
+// UDPFlowSpace is the tailored key space of §3.5's evaluation: UDP flows
+// toward one fixed destination (the NAT's external interface or the LB's
+// VIP), with the source address confined to a /16 and free source port —
+// 32 free bits total.
+type UDPFlowSpace struct {
+	// SrcNet is the upper 16 bits of permissible source IPs, e.g. 0x0a00
+	// for 10.0.0.0/16.
+	SrcNet uint16
+	// DstIP and DstPort pin the destination.
+	DstIP   uint32
+	DstPort uint16
+}
+
+// KeyLen implements KeySpace.
+func (s UDPFlowSpace) KeyLen() int { return FlowKeyLen }
+
+// FromSeed implements KeySpace: bits 0-15 become the low source IP bytes,
+// bits 16-31 the source port.
+func (s UDPFlowSpace) FromSeed(seed uint64) []byte {
+	k := make([]byte, FlowKeyLen)
+	srcIP := uint32(s.SrcNet)<<16 | uint32(seed&0xffff)
+	srcPort := uint16(seed >> 16)
+	binary.BigEndian.PutUint32(k[0:], srcIP)
+	binary.BigEndian.PutUint32(k[4:], s.DstIP)
+	binary.BigEndian.PutUint16(k[8:], srcPort)
+	binary.BigEndian.PutUint16(k[10:], s.DstPort)
+	k[12] = 17 // UDP
+	return k
+}
+
+// RawSpace is a generic fixed-length byte key space for tests: keys are
+// the seed's big-endian bytes, zero-padded or truncated to Len.
+type RawSpace struct{ Len int }
+
+// KeyLen implements KeySpace.
+func (s RawSpace) KeyLen() int { return s.Len }
+
+// FromSeed implements KeySpace: the seed's big-endian bytes, right-aligned
+// in the key.
+func (s RawSpace) FromSeed(seed uint64) []byte {
+	k := make([]byte, s.Len)
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], seed)
+	if s.Len >= 8 {
+		copy(k[s.Len-8:], buf[:])
+	} else {
+		copy(k, buf[8-s.Len:])
+	}
+	return k
+}

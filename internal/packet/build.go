@@ -1,0 +1,103 @@
+package packet
+
+import (
+	"encoding/binary"
+)
+
+// Spec describes a packet to synthesize. Zero values get sensible defaults
+// from Build: a UDP packet of MinUDPFrameLen bytes with TTL 64.
+type Spec struct {
+	EthSrc, EthDst MAC
+	Proto          IPProto // defaults to ProtoUDP
+	SrcIP, DstIP   uint32
+	SrcPort        uint16
+	DstPort        uint16
+	TTL            uint8 // defaults to 64
+	PayloadLen     int   // L4 payload bytes, defaults to 18 (64B frame w/o FCS)
+}
+
+// MinUDPFrameLen is the length of a minimum-size UDP frame as built by
+// Build with a zero PayloadLen: 14 (eth) + 20 (ip) + 8 (udp) + 18 payload
+// + 4 FCS would be 64 on the wire; we do not materialize the FCS.
+const MinUDPFrameLen = EthernetHeaderLen + IPv4HeaderLen + UDPHeaderLen + 18
+
+// Build synthesizes a well-formed frame from the spec, computing the IPv4
+// header checksum. The result always parses back via Parse.
+func Build(s Spec) []byte {
+	if s.Proto == 0 {
+		s.Proto = ProtoUDP
+	}
+	if s.TTL == 0 {
+		s.TTL = 64
+	}
+	if s.PayloadLen == 0 {
+		s.PayloadLen = 18
+	}
+	l4hdr := UDPHeaderLen
+	if s.Proto == ProtoTCP {
+		l4hdr = TCPHeaderLen
+	}
+	ipLen := IPv4HeaderLen + l4hdr + s.PayloadLen
+	raw := make([]byte, EthernetHeaderLen+ipLen)
+	copy(raw[OffEtherDst:], s.EthDst[:])
+	copy(raw[OffEtherSrc:], s.EthSrc[:])
+	binary.BigEndian.PutUint16(raw[OffEtherType:], uint16(EtherTypeIPv4))
+	raw[OffIPVerIHL] = 0x45
+	binary.BigEndian.PutUint16(raw[OffIPTotLen:], uint16(ipLen))
+	raw[OffIPTTL] = s.TTL
+	raw[OffIPProto] = byte(s.Proto)
+	binary.BigEndian.PutUint32(raw[OffIPSrc:], s.SrcIP)
+	binary.BigEndian.PutUint32(raw[OffIPDst:], s.DstIP)
+	binary.BigEndian.PutUint16(raw[OffL4SrcPort:], s.SrcPort)
+	binary.BigEndian.PutUint16(raw[OffL4DstPort:], s.DstPort)
+	switch s.Proto {
+	case ProtoUDP:
+		binary.BigEndian.PutUint16(raw[OffUDPLen:], uint16(UDPHeaderLen+s.PayloadLen))
+	case ProtoTCP:
+		raw[OffL4SrcPort+12] = 5 << 4 // data offset
+		raw[OffL4SrcPort+13] = 0x10   // ACK
+	}
+	cks := IPv4Checksum(raw[OffIPVerIHL : OffIPVerIHL+IPv4HeaderLen])
+	binary.BigEndian.PutUint16(raw[OffIPChecksum:], cks)
+	return raw
+}
+
+// FromTuple builds a minimum-size frame carrying the given 5-tuple.
+func FromTuple(t FiveTuple) []byte {
+	return Build(Spec{
+		Proto:   t.Proto,
+		SrcIP:   t.SrcIP,
+		DstIP:   t.DstIP,
+		SrcPort: t.SrcPort,
+		DstPort: t.DstPort,
+	})
+}
+
+// IPv4Checksum computes the standard Internet checksum over an IPv4 header
+// whose checksum field is zero (or whose current value should be ignored:
+// the field at bytes 10-11 is treated as zero).
+func IPv4Checksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		if i == 10 { // checksum field itself
+			continue
+		}
+		sum += uint32(binary.BigEndian.Uint16(hdr[i:]))
+	}
+	if len(hdr)%2 == 1 {
+		sum += uint32(hdr[len(hdr)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// VerifyIPv4Checksum reports whether the header's checksum field matches
+// the checksum of its contents.
+func VerifyIPv4Checksum(hdr []byte) bool {
+	if len(hdr) < IPv4HeaderLen {
+		return false
+	}
+	return binary.BigEndian.Uint16(hdr[10:]) == IPv4Checksum(hdr)
+}

@@ -1,0 +1,270 @@
+// Package packet implements parsing and serialization of the packet formats
+// used throughout the CASTAN reproduction: Ethernet II, IPv4, UDP and TCP.
+//
+// The design follows the layer-oriented style of gopacket: a Packet is
+// decoded into a stack of typed layers, each of which knows how to parse
+// and serialize itself. Only the protocols exercised by the evaluated
+// network functions are implemented; everything is dependency-free.
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// EtherType identifies the payload protocol of an Ethernet frame.
+type EtherType uint16
+
+// Ethernet payload types used by the NF library.
+const (
+	EtherTypeIPv4 EtherType = 0x0800
+	EtherTypeARP  EtherType = 0x0806
+)
+
+// IPProto identifies the payload protocol of an IPv4 packet.
+type IPProto uint8
+
+// IPv4 protocol numbers used by the NF library.
+const (
+	ProtoICMP IPProto = 1
+	ProtoTCP  IPProto = 6
+	ProtoUDP  IPProto = 17
+)
+
+// Header sizes in bytes.
+const (
+	EthernetHeaderLen = 14
+	IPv4HeaderLen     = 20 // without options
+	UDPHeaderLen      = 8
+	TCPHeaderLen      = 20 // without options
+	// MinLen is the smallest packet the NF framework accepts:
+	// Ethernet + IPv4 + L4 ports.
+	MinLen = EthernetHeaderLen + IPv4HeaderLen + 4
+)
+
+// Offsets of selected fields from the start of the frame. These are shared
+// with the IR network functions, which address packet bytes directly.
+const (
+	OffEtherDst  = 0
+	OffEtherSrc  = 6
+	OffEtherType = 12
+	OffIPVerIHL  = 14
+	OffIPTotLen  = 16
+	OffIPTTL     = 22
+	OffIPProto   = 23
+	OffIPChecksum = 24
+	OffIPSrc     = 26
+	OffIPDst     = 30
+	OffL4SrcPort = 34
+	OffL4DstPort = 36
+	OffUDPLen    = 38
+	OffUDPCksum  = 40
+)
+
+// MAC is a 48-bit Ethernet address.
+type MAC [6]byte
+
+// String renders the address in the canonical colon-separated form.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// Ethernet is a decoded Ethernet II header.
+type Ethernet struct {
+	Dst  MAC
+	Src  MAC
+	Type EtherType
+}
+
+// IPv4 is a decoded IPv4 header (options are not supported).
+type IPv4 struct {
+	TotalLen uint16
+	ID       uint16
+	TTL      uint8
+	Proto    IPProto
+	Checksum uint16
+	Src      uint32 // big-endian numeric form, e.g. 10.0.0.1 = 0x0a000001
+	Dst      uint32
+}
+
+// SrcAddr returns the source address as a netip.Addr.
+func (ip *IPv4) SrcAddr() netip.Addr { return addrFromU32(ip.Src) }
+
+// DstAddr returns the destination address as a netip.Addr.
+func (ip *IPv4) DstAddr() netip.Addr { return addrFromU32(ip.Dst) }
+
+func addrFromU32(v uint32) netip.Addr {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	return netip.AddrFrom4(b)
+}
+
+// AddrU32 converts a netip IPv4 address into its numeric big-endian form.
+func AddrU32(a netip.Addr) uint32 {
+	b := a.As4()
+	return binary.BigEndian.Uint32(b[:])
+}
+
+// UDP is a decoded UDP header.
+type UDP struct {
+	SrcPort  uint16
+	DstPort  uint16
+	Length   uint16
+	Checksum uint16
+}
+
+// TCP is a decoded TCP header (only the fields the NFs inspect).
+type TCP struct {
+	SrcPort uint16
+	DstPort uint16
+	Seq     uint32
+	Ack     uint32
+	Flags   uint8
+}
+
+// Packet is a decoded network packet together with its raw bytes. The raw
+// buffer is authoritative; the decoded layers are views that were valid at
+// Parse time. After mutating layers, call Serialize to refresh the bytes.
+type Packet struct {
+	Eth  Ethernet
+	IP   IPv4
+	UDP  *UDP // non-nil iff IP.Proto == ProtoUDP
+	TCP  *TCP // non-nil iff IP.Proto == ProtoTCP
+	Raw  []byte
+}
+
+// Parse decodes an Ethernet/IPv4/{UDP,TCP} frame. It returns an error if
+// the frame is truncated, is not IPv4, or carries IPv4 options (the NF
+// library, like the paper's DPDK NFs, assumes fixed 20-byte IP headers).
+func Parse(raw []byte) (*Packet, error) {
+	if len(raw) < MinLen {
+		return nil, fmt.Errorf("packet: frame too short: %d bytes", len(raw))
+	}
+	p := &Packet{Raw: raw}
+	copy(p.Eth.Dst[:], raw[OffEtherDst:])
+	copy(p.Eth.Src[:], raw[OffEtherSrc:])
+	p.Eth.Type = EtherType(binary.BigEndian.Uint16(raw[OffEtherType:]))
+	if p.Eth.Type != EtherTypeIPv4 {
+		return nil, fmt.Errorf("packet: unsupported ethertype %#04x", uint16(p.Eth.Type))
+	}
+	verIHL := raw[OffIPVerIHL]
+	if verIHL>>4 != 4 {
+		return nil, fmt.Errorf("packet: not IPv4 (version %d)", verIHL>>4)
+	}
+	if verIHL&0x0f != 5 {
+		return nil, fmt.Errorf("packet: IPv4 options unsupported (IHL %d)", verIHL&0x0f)
+	}
+	p.IP.TotalLen = binary.BigEndian.Uint16(raw[OffIPTotLen:])
+	p.IP.ID = binary.BigEndian.Uint16(raw[OffIPTotLen+2:])
+	p.IP.TTL = raw[OffIPTTL]
+	p.IP.Proto = IPProto(raw[OffIPProto])
+	p.IP.Checksum = binary.BigEndian.Uint16(raw[OffIPChecksum:])
+	p.IP.Src = binary.BigEndian.Uint32(raw[OffIPSrc:])
+	p.IP.Dst = binary.BigEndian.Uint32(raw[OffIPDst:])
+	switch p.IP.Proto {
+	case ProtoUDP:
+		if len(raw) < EthernetHeaderLen+IPv4HeaderLen+UDPHeaderLen {
+			return nil, fmt.Errorf("packet: truncated UDP header")
+		}
+		p.UDP = &UDP{
+			SrcPort:  binary.BigEndian.Uint16(raw[OffL4SrcPort:]),
+			DstPort:  binary.BigEndian.Uint16(raw[OffL4DstPort:]),
+			Length:   binary.BigEndian.Uint16(raw[OffUDPLen:]),
+			Checksum: binary.BigEndian.Uint16(raw[OffUDPCksum:]),
+		}
+	case ProtoTCP:
+		if len(raw) < EthernetHeaderLen+IPv4HeaderLen+TCPHeaderLen {
+			return nil, fmt.Errorf("packet: truncated TCP header")
+		}
+		p.TCP = &TCP{
+			SrcPort: binary.BigEndian.Uint16(raw[OffL4SrcPort:]),
+			DstPort: binary.BigEndian.Uint16(raw[OffL4DstPort:]),
+			Seq:     binary.BigEndian.Uint32(raw[OffL4SrcPort+4:]),
+			Ack:     binary.BigEndian.Uint32(raw[OffL4SrcPort+8:]),
+			Flags:   raw[OffL4SrcPort+13],
+		}
+	default:
+		return nil, fmt.Errorf("packet: unsupported IP protocol %d", p.IP.Proto)
+	}
+	return p, nil
+}
+
+// SrcPort returns the L4 source port regardless of transport.
+func (p *Packet) SrcPort() uint16 {
+	if p.UDP != nil {
+		return p.UDP.SrcPort
+	}
+	if p.TCP != nil {
+		return p.TCP.SrcPort
+	}
+	return 0
+}
+
+// DstPort returns the L4 destination port regardless of transport.
+func (p *Packet) DstPort() uint16 {
+	if p.UDP != nil {
+		return p.UDP.DstPort
+	}
+	if p.TCP != nil {
+		return p.TCP.DstPort
+	}
+	return 0
+}
+
+// FiveTuple is the canonical flow identifier.
+type FiveTuple struct {
+	SrcIP   uint32
+	DstIP   uint32
+	SrcPort uint16
+	DstPort uint16
+	Proto   IPProto
+}
+
+// Tuple extracts the packet's 5-tuple.
+func (p *Packet) Tuple() FiveTuple {
+	return FiveTuple{
+		SrcIP:   p.IP.Src,
+		DstIP:   p.IP.Dst,
+		SrcPort: p.SrcPort(),
+		DstPort: p.DstPort(),
+		Proto:   p.IP.Proto,
+	}
+}
+
+// String renders the tuple as "proto src:port->dst:port".
+func (t FiveTuple) String() string {
+	proto := "ip"
+	switch t.Proto {
+	case ProtoUDP:
+		proto = "udp"
+	case ProtoTCP:
+		proto = "tcp"
+	}
+	return fmt.Sprintf("%s %s:%d->%s:%d",
+		proto, addrFromU32(t.SrcIP), t.SrcPort, addrFromU32(t.DstIP), t.DstPort)
+}
+
+// Bytes serializes the tuple into the 13-byte key layout shared with the IR
+// network functions: srcIP(4) dstIP(4) srcPort(2) dstPort(2) proto(1), all
+// big-endian.
+func (t FiveTuple) Bytes() [13]byte {
+	var k [13]byte
+	binary.BigEndian.PutUint32(k[0:], t.SrcIP)
+	binary.BigEndian.PutUint32(k[4:], t.DstIP)
+	binary.BigEndian.PutUint16(k[8:], t.SrcPort)
+	binary.BigEndian.PutUint16(k[10:], t.DstPort)
+	k[12] = byte(t.Proto)
+	return k
+}
+
+// Reverse returns the tuple of the reply direction.
+func (t FiveTuple) Reverse() FiveTuple {
+	return FiveTuple{
+		SrcIP:   t.DstIP,
+		DstIP:   t.SrcIP,
+		SrcPort: t.DstPort,
+		DstPort: t.SrcPort,
+		Proto:   t.Proto,
+	}
+}

@@ -1,0 +1,184 @@
+package packet
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildParseRoundTripUDP(t *testing.T) {
+	spec := Spec{
+		EthSrc:  MAC{0x02, 0, 0, 0, 0, 1},
+		EthDst:  MAC{0x02, 0, 0, 0, 0, 2},
+		Proto:   ProtoUDP,
+		SrcIP:   0x0a000001,
+		DstIP:   0xc0a80102,
+		SrcPort: 1234,
+		DstPort: 53,
+	}
+	raw := Build(spec)
+	if len(raw) != MinUDPFrameLen {
+		t.Fatalf("frame len = %d, want %d", len(raw), MinUDPFrameLen)
+	}
+	p, err := Parse(raw)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if p.Eth.Src != spec.EthSrc || p.Eth.Dst != spec.EthDst {
+		t.Errorf("eth mismatch: %v -> %v", p.Eth.Src, p.Eth.Dst)
+	}
+	if p.IP.Src != spec.SrcIP || p.IP.Dst != spec.DstIP {
+		t.Errorf("ip mismatch: %08x -> %08x", p.IP.Src, p.IP.Dst)
+	}
+	if p.UDP == nil {
+		t.Fatal("UDP layer missing")
+	}
+	if p.UDP.SrcPort != 1234 || p.UDP.DstPort != 53 {
+		t.Errorf("ports = %d->%d", p.UDP.SrcPort, p.UDP.DstPort)
+	}
+	if p.TCP != nil {
+		t.Error("unexpected TCP layer")
+	}
+	if !VerifyIPv4Checksum(raw[OffIPVerIHL : OffIPVerIHL+IPv4HeaderLen]) {
+		t.Error("bad IPv4 checksum")
+	}
+}
+
+func TestBuildParseRoundTripTCP(t *testing.T) {
+	raw := Build(Spec{Proto: ProtoTCP, SrcIP: 1, DstIP: 2, SrcPort: 80, DstPort: 8080})
+	p, err := Parse(raw)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if p.TCP == nil {
+		t.Fatal("TCP layer missing")
+	}
+	if p.TCP.SrcPort != 80 || p.TCP.DstPort != 8080 {
+		t.Errorf("ports = %d->%d", p.TCP.SrcPort, p.TCP.DstPort)
+	}
+	if p.SrcPort() != 80 || p.DstPort() != 8080 {
+		t.Errorf("accessors = %d->%d", p.SrcPort(), p.DstPort())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		raw  []byte
+	}{
+		{"empty", nil},
+		{"short", make([]byte, 10)},
+		{"not ipv4 ethertype", func() []byte {
+			b := Build(Spec{SrcIP: 1, DstIP: 2})
+			b[OffEtherType] = 0x08
+			b[OffEtherType+1] = 0x06
+			return b
+		}()},
+		{"ip version 6", func() []byte {
+			b := Build(Spec{SrcIP: 1, DstIP: 2})
+			b[OffIPVerIHL] = 0x65
+			return b
+		}()},
+		{"ihl with options", func() []byte {
+			b := Build(Spec{SrcIP: 1, DstIP: 2})
+			b[OffIPVerIHL] = 0x46
+			return b
+		}()},
+		{"icmp proto", func() []byte {
+			b := Build(Spec{SrcIP: 1, DstIP: 2})
+			b[OffIPProto] = byte(ProtoICMP)
+			return b
+		}()},
+	}
+	for _, tc := range cases {
+		if _, err := Parse(tc.raw); err == nil {
+			t.Errorf("%s: Parse succeeded, want error", tc.name)
+		}
+	}
+}
+
+func TestFiveTupleRoundTrip(t *testing.T) {
+	f := func(srcIP, dstIP uint32, srcPort, dstPort uint16, udp bool) bool {
+		proto := ProtoTCP
+		if udp {
+			proto = ProtoUDP
+		}
+		want := FiveTuple{SrcIP: srcIP, DstIP: dstIP, SrcPort: srcPort, DstPort: dstPort, Proto: proto}
+		p, err := Parse(FromTuple(want))
+		if err != nil {
+			return false
+		}
+		return p.Tuple() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFiveTupleReverse(t *testing.T) {
+	tup := FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: ProtoUDP}
+	rev := tup.Reverse()
+	if rev.SrcIP != 2 || rev.DstIP != 1 || rev.SrcPort != 4 || rev.DstPort != 3 {
+		t.Errorf("Reverse = %+v", rev)
+	}
+	if rev.Reverse() != tup {
+		t.Error("double reverse not identity")
+	}
+}
+
+func TestFiveTupleBytesLayout(t *testing.T) {
+	tup := FiveTuple{SrcIP: 0x01020304, DstIP: 0x05060708, SrcPort: 0x090a, DstPort: 0x0b0c, Proto: 17}
+	k := tup.Bytes()
+	want := [13]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 17}
+	if k != want {
+		t.Errorf("Bytes = %v, want %v", k, want)
+	}
+}
+
+func TestAddrConversions(t *testing.T) {
+	a := netip.MustParseAddr("10.1.2.3")
+	u := AddrU32(a)
+	if u != 0x0a010203 {
+		t.Fatalf("AddrU32 = %08x", u)
+	}
+	ip := IPv4{Src: u, Dst: u}
+	if ip.SrcAddr() != a || ip.DstAddr() != a {
+		t.Errorf("round trip: %v / %v", ip.SrcAddr(), ip.DstAddr())
+	}
+}
+
+func TestChecksumProperties(t *testing.T) {
+	// Any built header verifies; flipping any byte invalidates it.
+	raw := Build(Spec{SrcIP: 0xdeadbeef, DstIP: 0xcafebabe, SrcPort: 1, DstPort: 2})
+	hdr := raw[OffIPVerIHL : OffIPVerIHL+IPv4HeaderLen]
+	if !VerifyIPv4Checksum(hdr) {
+		t.Fatal("fresh header does not verify")
+	}
+	for i := range hdr {
+		if i == 10 || i == 11 {
+			continue
+		}
+		hdr[i] ^= 0xff
+		if VerifyIPv4Checksum(hdr) && hdr[i]^0xff != hdr[i] {
+			t.Errorf("corrupted byte %d still verifies", i)
+		}
+		hdr[i] ^= 0xff
+	}
+	if VerifyIPv4Checksum(hdr[:10]) {
+		t.Error("short header verified")
+	}
+}
+
+func TestMACString(t *testing.T) {
+	m := MAC{0xde, 0xad, 0xbe, 0xef, 0x00, 0x01}
+	if got := m.String(); got != "de:ad:be:ef:00:01" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	tup := FiveTuple{SrcIP: 0x0a000001, DstIP: 0x0a000002, SrcPort: 10, DstPort: 20, Proto: ProtoUDP}
+	if got := tup.String(); got != "udp 10.0.0.1:10->10.0.0.2:20" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,188 @@
+// Package pcap reads and writes classic libpcap capture files
+// (magic 0xa1b2c3d4, microsecond timestamps, little-endian as written;
+// both endiannesses accepted on read). This is the interchange format
+// between the CASTAN analyzer, the workload generators and the testbed,
+// mirroring the paper's use of PCAP files replayed by MoonGen.
+package pcap
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// LinkTypeEthernet is the only link type the toolchain produces.
+const LinkTypeEthernet = 1
+
+const (
+	magicLE = 0xa1b2c3d4 // written; timestamps in microseconds
+	magicBE = 0xd4c3b2a1
+)
+
+// Record is one captured frame.
+type Record struct {
+	Time time.Time
+	Data []byte
+}
+
+// Writer writes a pcap stream. Create with NewWriter, which emits the
+// global header immediately.
+type Writer struct {
+	w     *bufio.Writer
+	snap  uint32
+	count int
+}
+
+// NewWriter writes the global header and returns a Writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:], magicLE)
+	binary.LittleEndian.PutUint16(hdr[4:], 2) // version major
+	binary.LittleEndian.PutUint16(hdr[6:], 4) // version minor
+	binary.LittleEndian.PutUint32(hdr[16:], 65535)
+	binary.LittleEndian.PutUint32(hdr[20:], LinkTypeEthernet)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcap: write header: %w", err)
+	}
+	return &Writer{w: bw, snap: 65535}, nil
+}
+
+// Write appends one record.
+func (w *Writer) Write(rec Record) error {
+	if len(rec.Data) == 0 {
+		return errors.New("pcap: empty record")
+	}
+	var hdr [16]byte
+	us := rec.Time.UnixMicro()
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(us/1e6))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(us%1e6))
+	n := uint32(len(rec.Data))
+	if n > w.snap {
+		n = w.snap
+	}
+	binary.LittleEndian.PutUint32(hdr[8:], n)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(rec.Data)))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(rec.Data[:n]); err != nil {
+		return err
+	}
+	w.count++
+	return nil
+}
+
+// Count reports how many records have been written.
+func (w *Writer) Count() int { return w.count }
+
+// Flush flushes buffered data to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader reads a pcap stream.
+type Reader struct {
+	r    *bufio.Reader
+	bo   binary.ByteOrder
+	link uint32
+}
+
+// NewReader parses the global header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [24]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcap: read header: %w", err)
+	}
+	rd := &Reader{r: br}
+	switch binary.LittleEndian.Uint32(hdr[0:]) {
+	case magicLE:
+		rd.bo = binary.LittleEndian
+	case magicBE:
+		rd.bo = binary.BigEndian
+	default:
+		return nil, fmt.Errorf("pcap: bad magic %#08x", binary.LittleEndian.Uint32(hdr[0:]))
+	}
+	rd.link = rd.bo.Uint32(hdr[20:])
+	return rd, nil
+}
+
+// LinkType returns the capture's link type.
+func (r *Reader) LinkType() uint32 { return r.link }
+
+// Next returns the next record, or io.EOF at end of stream.
+func (r *Reader) Next() (Record, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("pcap: read record header: %w", err)
+	}
+	sec := r.bo.Uint32(hdr[0:])
+	usec := r.bo.Uint32(hdr[4:])
+	caplen := r.bo.Uint32(hdr[8:])
+	if caplen > 1<<20 {
+		return Record{}, fmt.Errorf("pcap: unreasonable caplen %d", caplen)
+	}
+	data := make([]byte, caplen)
+	if _, err := io.ReadFull(r.r, data); err != nil {
+		return Record{}, fmt.Errorf("pcap: read record body: %w", err)
+	}
+	return Record{Time: time.Unix(int64(sec), int64(usec)*1000).UTC(), Data: data}, nil
+}
+
+// ReadAll drains the stream into a slice of raw frames.
+func (r *Reader) ReadAll() ([][]byte, error) {
+	var out [][]byte
+	for {
+		rec, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec.Data)
+	}
+}
+
+// WriteFile writes frames (with synthetic 1µs-spaced timestamps) to path.
+func WriteFile(path string, frames [][]byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := NewWriter(f)
+	if err != nil {
+		return err
+	}
+	base := time.Unix(0, 0).UTC()
+	for i, fr := range frames {
+		if err := w.Write(Record{Time: base.Add(time.Duration(i) * time.Microsecond), Data: fr}); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads all frames from a pcap file.
+func ReadFile(path string) ([][]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := NewReader(f)
+	if err != nil {
+		return nil, err
+	}
+	return r.ReadAll()
+}

@@ -1,0 +1,186 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := [][]byte{
+		bytes.Repeat([]byte{0xaa}, 60),
+		bytes.Repeat([]byte{0xbb}, 1500),
+		{0x01},
+	}
+	base := time.Date(2018, 8, 20, 12, 0, 0, 0, time.UTC)
+	for i, fr := range frames {
+		if err := w.Write(Record{Time: base.Add(time.Duration(i) * time.Millisecond), Data: fr}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 3 {
+		t.Errorf("Count = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LinkType() != LinkTypeEthernet {
+		t.Errorf("LinkType = %d", r.LinkType())
+	}
+	for i, want := range frames {
+		rec, err := r.Next()
+		if err != nil {
+			t.Fatalf("Next %d: %v", i, err)
+		}
+		if !bytes.Equal(rec.Data, want) {
+			t.Errorf("frame %d mismatch: %d bytes vs %d", i, len(rec.Data), len(want))
+		}
+		wantT := base.Add(time.Duration(i) * time.Millisecond)
+		if !rec.Time.Equal(wantT) {
+			t.Errorf("frame %d time = %v, want %v", i, rec.Time, wantT)
+		}
+	}
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestEmptyRecordRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	if err := w.Write(Record{Data: nil}); err == nil {
+		t.Error("empty record accepted")
+	}
+}
+
+func TestBigEndianRead(t *testing.T) {
+	// Hand-craft a big-endian capture with one 4-byte frame.
+	var buf bytes.Buffer
+	hdr := make([]byte, 24)
+	binary.BigEndian.PutUint32(hdr[0:], 0xa1b2c3d4)
+	binary.BigEndian.PutUint16(hdr[4:], 2)
+	binary.BigEndian.PutUint16(hdr[6:], 4)
+	binary.BigEndian.PutUint32(hdr[16:], 65535)
+	binary.BigEndian.PutUint32(hdr[20:], LinkTypeEthernet)
+	buf.Write(hdr)
+	rec := make([]byte, 16)
+	binary.BigEndian.PutUint32(rec[0:], 100)
+	binary.BigEndian.PutUint32(rec[4:], 5)
+	binary.BigEndian.PutUint32(rec[8:], 4)
+	binary.BigEndian.PutUint32(rec[12:], 4)
+	buf.Write(rec)
+	buf.Write([]byte{1, 2, 3, 4})
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Data, []byte{1, 2, 3, 4}) {
+		t.Errorf("data = %v", got.Data)
+	}
+	if got.Time.Unix() != 100 {
+		t.Errorf("sec = %d", got.Time.Unix())
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader(make([]byte, 24))); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestTruncatedHeader(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Error("truncated header accepted")
+	}
+}
+
+func TestTruncatedBody(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	_ = w.Write(Record{Time: time.Unix(0, 0), Data: []byte{1, 2, 3, 4}})
+	_ = w.Flush()
+	b := buf.Bytes()[:buf.Len()-2]
+	r, err := NewReader(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Error("truncated body accepted")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.pcap")
+	frames := [][]byte{{1, 2, 3}, {4, 5}}
+	if err := WriteFile(path, frames); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || !bytes.Equal(got[0], frames[0]) || !bytes.Equal(got[1], frames[1]) {
+		t.Errorf("ReadFile = %v", got)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(payloads [][]byte) bool {
+		var frames [][]byte
+		for _, p := range payloads {
+			if len(p) > 0 && len(p) < 2000 {
+				frames = append(frames, p)
+			}
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		for _, fr := range frames {
+			if err := w.Write(Record{Time: time.Unix(1, 0), Data: fr}); err != nil {
+				return false
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		got, err := r.ReadAll()
+		if err != nil || len(got) != len(frames) {
+			return false
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], frames[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,122 @@
+package rainbow
+
+import (
+	"testing"
+
+	"castan/internal/nfhash"
+	"castan/internal/stats"
+)
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nfhash.TableHash, nfhash.RawSpace{Len: 4}, Config{Bits: 0}); err == nil {
+		t.Error("bits=0 accepted")
+	}
+	if _, err := Build(nfhash.TableHash, nfhash.RawSpace{Len: 4}, Config{Bits: 40}); err == nil {
+		t.Error("bits=40 accepted")
+	}
+	if _, err := Build(nfhash.TableHash, nfhash.RawSpace{Len: 4}, Config{Bits: 12, Chains: 0, ChainLen: 10}); err == nil {
+		t.Error("chains=0 accepted")
+	}
+}
+
+func TestInvertFindsTruePreimages(t *testing.T) {
+	space := nfhash.UDPFlowSpace{SrcNet: 0x0a00, DstIP: 0xc0a80101, DstPort: 80}
+	cfg := DefaultConfig(14)
+	tbl, err := Build(nfhash.TableHash, space, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Bits() != 14 || tbl.Chains() == 0 {
+		t.Fatalf("table shape: bits=%d chains=%d", tbl.Bits(), tbl.Chains())
+	}
+	hash := nfhash.Masked(nfhash.TableHash, 14)
+	// Invert hashes of known keys: every returned candidate must be a true
+	// preimage, and most lookups should succeed.
+	rng := stats.NewRNG(5)
+	found := 0
+	const trials = 100
+	for i := 0; i < trials; i++ {
+		target := hash(space.FromSeed(rng.Uint64()))
+		keys := tbl.Invert(target, 3)
+		if len(keys) > 0 {
+			found++
+		}
+		for _, k := range keys {
+			if hash(k) != target {
+				t.Fatalf("false preimage: hash(%v) = %#x, want %#x", k, hash(k), target)
+			}
+			if len(k) != nfhash.FlowKeyLen || k[12] != 17 {
+				t.Errorf("candidate outside tailored space: %v", k)
+			}
+		}
+	}
+	if found < trials*6/10 {
+		t.Errorf("inversion succeeded only %d/%d times", found, trials)
+	}
+}
+
+func TestInvertOne(t *testing.T) {
+	space := nfhash.RawSpace{Len: 4}
+	tbl, err := Build(nfhash.RingHash, space, DefaultConfig(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash := nfhash.Masked(nfhash.RingHash, 12)
+	target := hash(space.FromSeed(1234))
+	k, ok := tbl.InvertOne(target)
+	if !ok {
+		t.Skip("table missed this value; acceptable for a single probe")
+	}
+	if hash(k) != target {
+		t.Fatalf("bad preimage")
+	}
+}
+
+func TestInvertDistinctCandidates(t *testing.T) {
+	space := nfhash.RawSpace{Len: 4}
+	tbl, err := Build(nfhash.TableHash, space, DefaultConfig(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash := nfhash.Masked(nfhash.TableHash, 10)
+	target := hash(space.FromSeed(7))
+	keys := tbl.Invert(target, 5)
+	seen := map[string]bool{}
+	for _, k := range keys {
+		if seen[string(k)] {
+			t.Error("duplicate candidate returned")
+		}
+		seen[string(k)] = true
+	}
+}
+
+func TestCoverageReasonable(t *testing.T) {
+	space := nfhash.UDPFlowSpace{SrcNet: 0x0a00, DstIP: 1, DstPort: 2}
+	tbl, err := Build(nfhash.TableHash, space, DefaultConfig(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := tbl.Coverage(200, 99)
+	if cov < 0.5 {
+		t.Errorf("coverage %.2f too low for a 4x table", cov)
+	}
+	if cov > 1 {
+		t.Errorf("coverage %.2f > 1", cov)
+	}
+}
+
+func TestTailoringMatters(t *testing.T) {
+	// A table tailored to one destination cannot produce keys for another
+	// destination: all candidates it returns carry its own pinned fields.
+	spaceA := nfhash.UDPFlowSpace{SrcNet: 0x0a00, DstIP: 0x01010101, DstPort: 1}
+	tbl, err := Build(nfhash.TableHash, spaceA, DefaultConfig(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := tbl.Invert(0x123, 5)
+	for _, k := range keys {
+		if k[4] != 1 || k[5] != 1 || k[6] != 1 || k[7] != 1 {
+			t.Errorf("candidate escaped the tailored space: %v", k)
+		}
+	}
+}

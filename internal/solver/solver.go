@@ -1,0 +1,378 @@
+// Package solver decides satisfiability of conjunctions of bitvector
+// constraints over packet-byte variables and produces satisfying models
+// (concrete packets). It plays the role the SMT solver plays for CASTAN:
+// the symbolic-execution engine asserts path constraints, asks "is this
+// branch / this concretized pointer feasible?", and finally asks for a
+// model of the highest-cost state.
+//
+// The fragment it handles — comparisons over words assembled from packet
+// bytes, masked table-index equalities from pointer concretization, and
+// disequalities for flow uniqueness — is deliberately narrower than a
+// general SMT solver, which keeps the implementation small: backtracking
+// search over byte variables with unit filtering and sound interval
+// pruning.
+package solver
+
+import (
+	"errors"
+	"sort"
+
+	"castan/internal/expr"
+)
+
+// Result is the outcome of a satisfiability check.
+type Result int
+
+// Check outcomes.
+const (
+	Unsat Result = iota
+	Sat
+	Unknown // budget exhausted before a decision
+)
+
+// String names the result.
+func (r Result) String() string {
+	switch r {
+	case Unsat:
+		return "unsat"
+	case Sat:
+		return "sat"
+	default:
+		return "unknown"
+	}
+}
+
+// Model is a satisfying assignment of byte values to variables.
+type Model map[expr.VarID]uint64
+
+// narrow folds constraint t into the per-expression interval map,
+// reporting false when an interval becomes empty (definite Unsat).
+func narrow(ivs map[uint64]*expr.Interval, t *expr.Expr) bool {
+	var sym *expr.Expr
+	var lo, hi uint64
+	max := ^uint64(0)
+	switch t.Op {
+	case expr.OpEq, expr.OpUle, expr.OpUlt:
+	default:
+		return true
+	}
+	av, aok := t.A.IsConst()
+	bv, bok := t.B.IsConst()
+	switch {
+	case aok == bok:
+		return true // const-const folded earlier; sym-sym not handled here
+	case bok: // sym <op> const
+		sym = t.A
+		switch t.Op {
+		case expr.OpEq:
+			lo, hi = bv, bv
+		case expr.OpUle:
+			lo, hi = 0, bv
+		case expr.OpUlt:
+			if bv == 0 {
+				return false
+			}
+			lo, hi = 0, bv-1
+		}
+	default: // const <op> sym
+		sym = t.B
+		switch t.Op {
+		case expr.OpEq:
+			lo, hi = av, av
+		case expr.OpUle:
+			lo, hi = av, max
+		case expr.OpUlt:
+			if av == max {
+				return false
+			}
+			lo, hi = av+1, max
+		}
+	}
+	iv, ok := ivs[sym.Fingerprint()]
+	if !ok {
+		ivs[sym.Fingerprint()] = &expr.Interval{Lo: lo, Hi: hi}
+		return true
+	}
+	*iv = iv.Intersect(expr.Interval{Lo: lo, Hi: hi})
+	return !iv.Empty()
+}
+
+// ErrBudget is returned by Solve when the step budget runs out.
+var ErrBudget = errors.New("solver: step budget exhausted")
+
+// Solver holds tunables. The zero value uses defaults.
+type Solver struct {
+	// MaxSteps bounds the number of decisions+propagations; 0 means
+	// DefaultMaxSteps.
+	MaxSteps int
+	// Hint, when set, biases the search to try each variable's hinted
+	// value first. When the constraint system is an extension of one the
+	// hint already satisfies, the search only repairs the affected
+	// variables, making incremental checks nearly free.
+	Hint Model
+}
+
+// DefaultMaxSteps is the default search budget.
+const DefaultMaxSteps = 400000
+
+// Check decides the conjunction of the given constraints. Each constraint
+// is interpreted as "expression != 0". On Sat the returned model assigns
+// every variable that occurs in the constraints.
+func (s *Solver) Check(constraints []*expr.Expr) (Result, Model) {
+	p, res := newProblem(constraints)
+	if res != Unknown {
+		return res, modelIfSat(res, p)
+	}
+	budget := s.MaxSteps
+	if budget <= 0 {
+		budget = DefaultMaxSteps
+	}
+	p.budget = budget
+	p.hint = s.Hint
+	switch p.search() {
+	case searchSat:
+		return Sat, p.model()
+	case searchUnsat:
+		return Unsat, nil
+	default:
+		return Unknown, nil
+	}
+}
+
+func modelIfSat(r Result, p *problem) Model {
+	if r == Sat && p != nil {
+		return p.model()
+	}
+	return nil
+}
+
+// Solve returns a model or an error (unsat or budget).
+func (s *Solver) Solve(constraints []*expr.Expr) (Model, error) {
+	res, m := s.Check(constraints)
+	switch res {
+	case Sat:
+		return m, nil
+	case Unsat:
+		return nil, errors.New("solver: unsatisfiable")
+	default:
+		return nil, ErrBudget
+	}
+}
+
+type searchResult int
+
+const (
+	searchSat searchResult = iota
+	searchUnsat
+	searchBudget
+)
+
+type problem struct {
+	cons     []*expr.Expr
+	consVars [][]expr.VarID // cached variable lists per constraint
+	vars     []expr.VarID
+	varCons  map[expr.VarID][]int // var -> constraint indices
+	unVars   []int                // per-constraint count of unassigned vars
+	assign   map[expr.VarID]uint64
+	hint     Model
+	order    []expr.VarID
+	steps    int
+	budget   int
+}
+
+// newProblem normalizes constraints. Returns (nil, Unsat) for a trivially
+// false system and (nil, Sat) for a trivially true one.
+func newProblem(constraints []*expr.Expr) (*problem, Result) {
+	p := &problem{
+		varCons: map[expr.VarID][]int{},
+		assign:  map[expr.VarID]uint64{},
+	}
+	seen := map[expr.VarID]bool{}
+	// Interval pre-pass: constraints comparing structurally identical
+	// expressions against constants narrow a shared interval; an empty
+	// intersection refutes the system without any search. This catches
+	// the "w <= c together with w > c" window conflicts that backtracking
+	// is hopeless at.
+	ivs := map[uint64]*expr.Interval{}
+	for _, c := range constraints {
+		t := expr.Truth(c)
+		if b, ok := t.IsBool(); ok {
+			if !b {
+				return nil, Unsat
+			}
+			continue
+		}
+		if !narrow(ivs, t) {
+			return nil, Unsat
+		}
+		idx := len(p.cons)
+		p.cons = append(p.cons, t)
+		vs := t.VarList()
+		p.consVars = append(p.consVars, vs)
+		p.unVars = append(p.unVars, len(vs))
+		for _, v := range vs {
+			p.varCons[v] = append(p.varCons[v], idx)
+			if !seen[v] {
+				seen[v] = true
+				p.vars = append(p.vars, v)
+			}
+		}
+	}
+	if len(p.cons) == 0 {
+		return p, Sat
+	}
+	// Deterministic variable order: most-constrained first, then by ID.
+	p.order = append([]expr.VarID(nil), p.vars...)
+	sort.Slice(p.order, func(i, j int) bool {
+		a, b := p.order[i], p.order[j]
+		if len(p.varCons[a]) != len(p.varCons[b]) {
+			return len(p.varCons[a]) > len(p.varCons[b])
+		}
+		return a < b
+	})
+	return p, Unknown
+}
+
+func (p *problem) model() Model {
+	m := make(Model, len(p.assign))
+	for k, v := range p.assign {
+		m[k] = v
+	}
+	return m
+}
+
+// pickVar returns the next variable to assign: an unassigned variable of
+// the constraint with the fewest unassigned variables (fail-first).
+func (p *problem) pickVar() (expr.VarID, bool) {
+	best, bestCount := -1, 1<<30
+	for ci, n := range p.unVars {
+		if n > 0 && n < bestCount {
+			best, bestCount = ci, n
+			if n == 1 {
+				break
+			}
+		}
+	}
+	if best >= 0 {
+		vs := p.consVars[best]
+		// Deterministic: smallest unassigned ID in that constraint.
+		found := false
+		var min expr.VarID
+		for _, v := range vs {
+			if _, ok := p.assign[v]; !ok {
+				if !found || v < min {
+					min, found = v, true
+				}
+			}
+		}
+		if found {
+			return min, true
+		}
+	}
+	for _, v := range p.order {
+		if _, ok := p.assign[v]; !ok {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// valueAt maps iteration index k to the k-th candidate value for v:
+// the hinted value first, then ascending order.
+func (p *problem) valueAt(v expr.VarID, k uint64) uint64 {
+	if p.hint == nil {
+		return k
+	}
+	hintVal, ok := p.hint[v]
+	if !ok {
+		return k
+	}
+	hintVal &= 0xff
+	switch {
+	case k == 0:
+		return hintVal
+	case k <= hintVal:
+		return k - 1
+	default:
+		return k
+	}
+}
+
+// propagateCheck verifies all constraints touching v after assigning it:
+// fully-assigned constraints must evaluate nonzero; nearly-assigned ones
+// must still admit a nonzero value by interval analysis. Constraints with
+// many free variables are left unchecked — interval pruning almost never
+// fires for them, and the cost would dominate the search.
+const rangeCheckMaxFree = 6
+
+func (p *problem) propagateCheck(v expr.VarID) bool {
+	for _, ci := range p.varCons[v] {
+		c := p.cons[ci]
+		if p.unVars[ci] == 0 {
+			if c.Eval(p.assign) == 0 {
+				return false
+			}
+		} else if p.unVars[ci] <= rangeCheckMaxFree {
+			if iv := expr.Range(c, p.assign); iv.Hi == 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (p *problem) assignVar(v expr.VarID, val uint64) {
+	p.assign[v] = val
+	for _, ci := range p.varCons[v] {
+		p.unVars[ci]--
+	}
+}
+
+func (p *problem) unassignVar(v expr.VarID) {
+	delete(p.assign, v)
+	for _, ci := range p.varCons[v] {
+		p.unVars[ci]++
+	}
+}
+
+func (p *problem) search() searchResult {
+	v, more := p.pickVar()
+	if !more {
+		return searchSat
+	}
+	for k := uint64(0); k < 256; k++ {
+		p.steps++
+		if p.steps > p.budget {
+			return searchBudget
+		}
+		val := p.valueAt(v, k)
+		p.assignVar(v, val)
+		if p.propagateCheck(v) {
+			switch r := p.search(); r {
+			case searchSat, searchBudget:
+				return r
+			}
+		}
+		p.unassignVar(v)
+	}
+	return searchUnsat
+}
+
+// QuickFeasible is a cheap, sound-for-Unsat check: it returns Unsat only
+// when interval analysis refutes some constraint outright, otherwise
+// Unknown. The symbex engine uses it as a pre-filter before full checks.
+func QuickFeasible(constraints []*expr.Expr) Result {
+	for _, c := range constraints {
+		t := expr.Truth(c)
+		if b, ok := t.IsBool(); ok {
+			if !b {
+				return Unsat
+			}
+			continue
+		}
+		if iv := expr.Range(t, nil); iv.Hi == 0 {
+			return Unsat
+		}
+	}
+	return Unknown
+}

@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// CDF is an empirical cumulative distribution over float64 samples.
+// It is the primary presentation format of the paper's evaluation
+// (Figures 4-15 are all CDFs).
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF copies and sorts the samples. It panics on an empty sample set,
+// which always indicates a harness bug.
+func NewCDF(samples []float64) *CDF {
+	if len(samples) == 0 {
+		panic("stats: empty CDF")
+	}
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// N returns the sample count.
+func (c *CDF) N() int { return len(c.sorted) }
+
+// Quantile returns the q-quantile (0 <= q <= 1) using the nearest-rank
+// method.
+func (c *CDF) Quantile(q float64) float64 {
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(c.sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return c.sorted[idx]
+}
+
+// Median returns the 0.5 quantile.
+func (c *CDF) Median() float64 { return c.Quantile(0.5) }
+
+// Min and Max return the extreme samples.
+func (c *CDF) Min() float64 { return c.sorted[0] }
+
+// Max returns the largest sample.
+func (c *CDF) Max() float64 { return c.sorted[len(c.sorted)-1] }
+
+// Mean returns the arithmetic mean.
+func (c *CDF) Mean() float64 {
+	sum := 0.0
+	for _, v := range c.sorted {
+		sum += v
+	}
+	return sum / float64(len(c.sorted))
+}
+
+// At returns P(X <= x).
+func (c *CDF) At(x float64) float64 {
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Points returns up to n (x, P(X<=x)) pairs evenly spaced in probability,
+// suitable for plotting or textual rendering of the figure series.
+func (c *CDF) Points(n int) [][2]float64 {
+	if n < 2 {
+		n = 2
+	}
+	pts := make([][2]float64, 0, n)
+	for i := 0; i < n; i++ {
+		q := float64(i) / float64(n-1)
+		pts = append(pts, [2]float64{c.Quantile(q), q})
+	}
+	return pts
+}
+
+// Render draws an ASCII CDF plot of several named series on a shared x
+// axis, emulating the paper's figures well enough for terminal inspection.
+func Render(title, xlabel string, series map[string]*CDF, width, height int) string {
+	if width < 20 {
+		width = 60
+	}
+	if height < 5 {
+		height = 16
+	}
+	names := make([]string, 0, len(series))
+	for n := range series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, n := range names {
+		lo = math.Min(lo, series[n].Min())
+		hi = math.Max(hi, series[n].Max())
+	}
+	if lo == hi {
+		hi = lo + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	marks := "abcdefghijklmnopqrstuvwxyz"
+	for si, n := range names {
+		m := marks[si%len(marks)]
+		cdf := series[n]
+		for col := 0; col < width; col++ {
+			x := lo + (hi-lo)*float64(col)/float64(width-1)
+			p := cdf.At(x)
+			row := height - 1 - int(p*float64(height-1))
+			grid[row][col] = m
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for _, row := range grid {
+		b.WriteString("  |")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "  +%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "   %-12.4g%*.4g  (%s)\n", lo, width-12, hi, xlabel)
+	for si, n := range names {
+		fmt.Fprintf(&b, "   %c = %-24s median %.4g\n", marks[si%len(marks)], n, series[n].Median())
+	}
+	return b.String()
+}

@@ -1,0 +1,239 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("divergence at step %d", i)
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if NewRNG(42).Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("seeds 42/43 collide too often: %d", same)
+	}
+}
+
+func TestRNGUniformity(t *testing.T) {
+	r := NewRNG(7)
+	const buckets, n = 16, 100000
+	var hist [buckets]int
+	for i := 0; i < n; i++ {
+		hist[r.Intn(buckets)]++
+	}
+	want := float64(n) / buckets
+	for i, h := range hist {
+		if math.Abs(float64(h)-want) > want*0.1 {
+			t.Errorf("bucket %d: %d, want ~%.0f", i, h, want)
+		}
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		for i := 0; i < 100; i++ {
+			v := r.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := NewRNG(99)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make(map[int]bool)
+	for _, x := range xs {
+		if seen[x] {
+			t.Fatalf("duplicate %d", x)
+		}
+		seen[x] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("lost elements: %v", xs)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := NewRNG(5)
+	s1, s2 := r.Split(), r.Split()
+	if s1.Uint64() == s2.Uint64() {
+		t.Error("split streams start identically")
+	}
+}
+
+func TestZipfValidation(t *testing.T) {
+	r := NewRNG(1)
+	if _, err := NewZipf(r, 0, 1.26); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := NewZipf(r, 10, 0); err == nil {
+		t.Error("s=0 accepted")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRNG(3)
+	z, err := NewZipf(r, 1000, 1.26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200000
+	var hist [1000]int
+	for i := 0; i < n; i++ {
+		hist[z.Next()]++
+	}
+	// Rank 0 should dominate and the tail should be thin but present.
+	if hist[0] < hist[1] {
+		t.Errorf("rank0=%d < rank1=%d", hist[0], hist[1])
+	}
+	p0 := float64(hist[0]) / n
+	if math.Abs(p0-z.Prob(0)) > 0.02 {
+		t.Errorf("empirical P(0)=%.3f, analytic %.3f", p0, z.Prob(0))
+	}
+	// Probabilities sum to 1.
+	sum := 0.0
+	for k := 0; k < z.N(); k++ {
+		sum += z.Prob(k)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("probabilities sum to %g", sum)
+	}
+}
+
+func TestZipfMonotoneDecreasing(t *testing.T) {
+	z, _ := NewZipf(NewRNG(1), 50, 1.26)
+	for k := 1; k < 50; k++ {
+		if z.Prob(k) > z.Prob(k-1)+1e-12 {
+			t.Errorf("P(%d)=%g > P(%d)=%g", k, z.Prob(k), k-1, z.Prob(k-1))
+		}
+	}
+	if z.Prob(-1) != 0 || z.Prob(50) != 0 {
+		t.Error("out-of-range Prob should be 0")
+	}
+}
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{3, 1, 2, 5, 4})
+	if c.N() != 5 {
+		t.Errorf("N = %d", c.N())
+	}
+	if c.Min() != 1 || c.Max() != 5 {
+		t.Errorf("range [%g,%g]", c.Min(), c.Max())
+	}
+	if c.Median() != 3 {
+		t.Errorf("median = %g", c.Median())
+	}
+	if c.Mean() != 3 {
+		t.Errorf("mean = %g", c.Mean())
+	}
+	if got := c.At(2.5); got != 0.4 {
+		t.Errorf("At(2.5) = %g", got)
+	}
+	if got := c.At(5); got != 1 {
+		t.Errorf("At(5) = %g", got)
+	}
+	if got := c.At(0); got != 0 {
+		t.Errorf("At(0) = %g", got)
+	}
+}
+
+func TestCDFQuantileMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		c := NewCDF(xs)
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := c.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return c.Quantile(0) == c.Min() && c.Quantile(1) == c.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty CDF did not panic")
+		}
+	}()
+	NewCDF(nil)
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	pts := c.Points(5)
+	if len(pts) != 5 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0][0] != 1 || pts[len(pts)-1][0] != 4 {
+		t.Errorf("endpoints: %v", pts)
+	}
+}
+
+func TestRenderContainsSeries(t *testing.T) {
+	s := map[string]*CDF{
+		"NOP":    NewCDF([]float64{1, 1, 1}),
+		"CASTAN": NewCDF([]float64{5, 6, 7}),
+	}
+	out := Render("Latency", "ns", s, 40, 8)
+	for _, want := range []string{"Latency", "NOP", "CASTAN", "ns"} {
+		if !contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

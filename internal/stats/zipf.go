@@ -1,0 +1,56 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Zipf samples ranks 1..N with P(rank k) ∝ 1/k^s, via inverse-CDF lookup
+// on a precomputed table. The paper's "Zipfian" workload uses s = 1.26,
+// estimated from a university traffic capture.
+type Zipf struct {
+	cdf []float64 // cdf[i] = P(rank <= i+1)
+	rng *RNG
+}
+
+// NewZipf builds a sampler over n ranks with exponent s, drawing from rng.
+func NewZipf(rng *RNG, n int, s float64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("stats: zipf needs n > 0, got %d", n)
+	}
+	if s <= 0 {
+		return nil, fmt.Errorf("stats: zipf needs s > 0, got %g", s)
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := 1; k <= n; k++ {
+		sum += 1 / math.Pow(float64(k), s)
+		cdf[k-1] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	cdf[n-1] = 1 // guard against FP round-off
+	return &Zipf{cdf: cdf, rng: rng}, nil
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Next samples a rank in [0, N) (rank 0 is the most popular).
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// Prob returns the probability of rank k (0-based).
+func (z *Zipf) Prob(k int) float64 {
+	if k < 0 || k >= len(z.cdf) {
+		return 0
+	}
+	if k == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[k] - z.cdf[k-1]
+}

@@ -1,0 +1,825 @@
+package symbex
+
+import (
+	"container/heap"
+	"fmt"
+
+	"castan/internal/cachemodel"
+	"castan/internal/expr"
+	"castan/internal/icfg"
+	"castan/internal/interp"
+	"castan/internal/ir"
+	"castan/internal/solver"
+)
+
+// Config tunes the exploration.
+type Config struct {
+	// Entry is the per-packet entry point, typically "nf_process"
+	// (pktAddr, pktLen) -> action.
+	Entry string
+	// NPackets is the length of the synthesized adversarial sequence.
+	NPackets int
+	// PacketLen is the number of symbolic bytes per packet (the headers
+	// the NF can observe). Defaults to 64.
+	PacketLen int
+	// MaxStates bounds how many state suspensions the searcher processes
+	// (the "time budget" of §3.1). Defaults to 20000.
+	MaxStates int
+	// StepChunk is how many instructions a state may run before the
+	// searcher reconsiders priorities. Defaults to 2048.
+	StepChunk int
+	// MaxLoopIters bounds consecutive symbolic iterations of one loop
+	// head within a state. Defaults to 64.
+	MaxLoopIters int
+	// SolverSteps is the per-query budget for full feasibility checks
+	// (local repair handles the common cases first). Defaults to 40000.
+	SolverSteps int
+	// KeepBest is how many completed states to retain. Defaults to 8.
+	KeepBest int
+	// StopAfterDone halts exploration once this many states have consumed
+	// all N packets — in best-first order the earliest completions follow
+	// the highest-cost paths. Defaults to 16.
+	StopAfterDone int
+}
+
+func (c *Config) fill() {
+	if c.Entry == "" {
+		c.Entry = "nf_process"
+	}
+	if c.NPackets <= 0 {
+		c.NPackets = 1
+	}
+	if c.PacketLen <= 0 {
+		c.PacketLen = 64
+	}
+	if c.MaxStates <= 0 {
+		c.MaxStates = 20000
+	}
+	if c.StepChunk <= 0 {
+		c.StepChunk = 2048
+	}
+	if c.MaxLoopIters <= 0 {
+		c.MaxLoopIters = 64
+	}
+	if c.SolverSteps <= 0 {
+		c.SolverSteps = 8000
+	}
+	if c.KeepBest <= 0 {
+		c.KeepBest = 8
+	}
+	if c.StopAfterDone <= 0 {
+		c.StopAfterDone = 16
+	}
+}
+
+// Engine explores one NF module.
+type Engine struct {
+	Mod      *ir.Module
+	Analysis *icfg.Analysis
+	// PotentialAnalysis, when set, supplies the potential-cost heuristic
+	// (§3.4) while Analysis keeps accounting realized costs. Passing an
+	// *optimistic* analysis here (memory priced at DRAM, generous loop
+	// bound) makes the searcher's first completions the highest-cost
+	// paths, which is what lets exploration stop early.
+	PotentialAnalysis *icfg.Analysis
+	// Model is the discovered cache model; nil disables adversarial
+	// pointer concretization (costs then assume cold-miss-once).
+	Model *cachemodel.Model
+	// Base is the concrete memory snapshot after NF setup (tables
+	// populated); symbolic writes overlay it.
+	Base *interp.Memory
+	// HeapTop is the bump-allocator start (the setup machine's heap top).
+	HeapTop uint64
+	Cfg     Config
+
+	// Trace, when non-nil, receives search events ("pop", "done", "trap",
+	// "fork") for debugging and tests.
+	Trace func(event string, s *State)
+
+	sol      solver.Solver
+	nextID   int
+	forks    int
+	explored int
+}
+
+// Result is the outcome of an exploration.
+type Result struct {
+	// Best is the completed state with the highest current cost, or nil
+	// if no state consumed all N packets within budget.
+	Best *State
+	// Completed holds the KeepBest best completed states (Best first).
+	Completed []*State
+	// StatesExplored and Forks describe the search effort.
+	StatesExplored int
+	Forks          int
+}
+
+// stateHeap is a max-heap on Priority.
+type stateHeap []*State
+
+func (h stateHeap) Len() int            { return len(h) }
+func (h stateHeap) Less(i, j int) bool  { return h[i].Priority() > h[j].Priority() }
+func (h stateHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *stateHeap) Push(x interface{}) { *h = append(*h, x.(*State)) }
+func (h *stateHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	s := old[n-1]
+	*h = old[:n-1]
+	return s
+}
+
+// PacketVar returns the variable ID for byte b of packet p, fixing the
+// model→packet mapping used by downstream consumers.
+func (e *Engine) PacketVar(p, b int) expr.VarID {
+	return expr.VarID(p*e.Cfg.PacketLen + b)
+}
+
+// havocVarBase is the first variable ID beyond all packet bytes.
+func (e *Engine) havocVarBase() expr.VarID {
+	return expr.VarID(e.Cfg.NPackets * e.Cfg.PacketLen)
+}
+
+// Run explores the NF and returns the best adversarial states found.
+func (e *Engine) Run() (*Result, error) {
+	e.Cfg.fill()
+	entry := e.Mod.Funcs[e.Cfg.Entry]
+	if entry == nil {
+		return nil, fmt.Errorf("symbex: no entry function %q", e.Cfg.Entry)
+	}
+	if entry.NumParams != 2 {
+		return nil, fmt.Errorf("symbex: entry %q must take (pktAddr, pktLen)", e.Cfg.Entry)
+	}
+	e.sol = solver.Solver{MaxSteps: e.Cfg.SolverSteps}
+
+	init := &State{
+		ID:           e.nextID,
+		mem:          newSymMemory(e.Base),
+		nextHavocVar: e.havocVarBase(),
+		model:        solver.Model{},
+	}
+	e.nextID++
+	init.heapTop = e.HeapTop
+	if e.Model != nil {
+		init.tracker = e.Model.NewTracker()
+	}
+	e.injectPacket(init, entry)
+
+	var pq stateHeap
+	heap.Init(&pq)
+	heap.Push(&pq, init)
+
+	var completed []*State
+	done := 0
+	for pq.Len() > 0 && e.explored < e.Cfg.MaxStates && done < e.Cfg.StopAfterDone {
+		s := heap.Pop(&pq).(*State)
+		if e.Trace != nil {
+			e.Trace("pop", s)
+		}
+		// Local pursuit: keep stepping this state while it still outranks
+		// everything pending. A loose (optimistic) heuristic would
+		// otherwise devolve into breadth-first search — the failure mode
+		// §3.1 warns about.
+		for {
+			e.explored++
+			if e.explored >= e.Cfg.MaxStates {
+				break
+			}
+			forks := e.step(s, entry)
+			for _, f := range forks {
+				heap.Push(&pq, f)
+			}
+			if s.Done || s.trapped != nil {
+				break
+			}
+			s.Potential = e.potential(s)
+			if pq.Len() > 0 && s.Priority() < pq[0].Priority() {
+				break
+			}
+		}
+		if s.Done {
+			done++
+			if e.Trace != nil {
+				e.Trace("done", s)
+			}
+			completed = insertCompleted(completed, s, e.Cfg.KeepBest)
+			continue
+		}
+		if s.trapped != nil {
+			if e.Trace != nil {
+				e.Trace("trap", s)
+			}
+			continue
+		}
+		heap.Push(&pq, s)
+	}
+	res := &Result{
+		Completed:      completed,
+		StatesExplored: e.explored,
+		Forks:          e.forks,
+	}
+	if len(completed) > 0 {
+		res.Best = completed[0]
+	}
+	return res, nil
+}
+
+func insertCompleted(list []*State, s *State, keep int) []*State {
+	list = append(list, s)
+	for i := len(list) - 1; i > 0 && list[i].CurCost > list[i-1].CurCost; i-- {
+		list[i], list[i-1] = list[i-1], list[i]
+	}
+	if len(list) > keep {
+		list = list[:keep]
+	}
+	return list
+}
+
+// potential estimates the cycles still reachable from s: the annotated
+// ICFG potential of every frame's continuation, plus a full per-packet
+// summary for each packet not yet received (§3.4).
+func (e *Engine) potential(s *State) uint64 {
+	an := e.PotentialAnalysis
+	if an == nil {
+		an = e.Analysis
+	}
+	// Exactly as in §3.1/§3.4, the potential covers only the path from
+	// here to the next packet reception (the in-flight call stack), so a
+	// state's priority estimates its realized cost at the END of the
+	// current packet. No term for future packets (it would bias the queue
+	// toward less-progressed states), and zero for a state resting at a
+	// packet boundary (every state gets the same fresh-packet maximum, so
+	// including it would bias the queue toward whoever reached a boundary
+	// most cheaply). Boundary states therefore compare by pure realized
+	// cost, and the search greedily rides the most expensive path.
+	entry := e.Mod.Funcs[e.Cfg.Entry]
+	if len(s.frames) == 1 {
+		f := s.frames[0]
+		if f.fn == entry && f.blk == entry.Entry() && f.pc == 0 {
+			return 0
+		}
+	}
+	var p uint64
+	for _, f := range s.frames {
+		p += an.Potential(f.blk, f.pc)
+	}
+	return p
+}
+
+// injectPacket starts processing of the next packet: fresh symbolic bytes
+// at PacketBase and a fresh call frame for the entry function. DDIO is
+// modelled by pre-placing the packet's header lines in the cache tracker.
+func (e *Engine) injectPacket(s *State, entry *ir.Func) {
+	p := s.PacketsDone
+	vars := make([]expr.VarID, e.Cfg.PacketLen)
+	for i := range vars {
+		vars[i] = e.PacketVar(p, i)
+	}
+	s.mem.setSymbolicBytes(ir.PacketBase, vars)
+	if s.tracker != nil {
+		for off := 0; off < e.Cfg.PacketLen; off += e.Model.LineBytes {
+			s.tracker.RecordAccess(ir.PacketBase + uint64(off))
+		}
+	}
+	f := &frame{
+		fn:   entry,
+		regs: make([]*expr.Expr, entry.NumRegs),
+		blk:  entry.Entry(),
+	}
+	zero := expr.Const(0)
+	for i := range f.regs {
+		f.regs[i] = zero
+	}
+	f.regs[0] = expr.Const(ir.PacketBase)
+	f.regs[1] = expr.Const(uint64(e.Cfg.PacketLen))
+	f.retDst = ir.NoReg
+	s.frames = []*frame{f}
+	s.packetStartCost = s.CurCost
+}
+
+// step runs s until it forks, completes a packet sequence, traps, or
+// exhausts its chunk. Returns any forked states.
+func (e *Engine) step(s *State, entry *ir.Func) []*State {
+	var forks []*State
+	cm := e.Analysis.Cost
+	for n := 0; n < e.Cfg.StepChunk; n++ {
+		f := s.top()
+		if f.pc >= len(f.blk.Instrs) {
+			s.trapped = fmt.Errorf("fell off block %s", f.blk.Name)
+			return forks
+		}
+		in := f.blk.Instrs[f.pc]
+		s.Instrs++
+		switch in.Op {
+		case ir.OpConst:
+			s.CurCost += cm.Mov
+			s.setReg(in.Dst, expr.Const(in.Imm))
+		case ir.OpMov:
+			s.CurCost += cm.Mov
+			s.setReg(in.Dst, s.reg(in.A))
+		case ir.OpBin:
+			s.CurCost += cm.InstrCost(in)
+			s.setReg(in.Dst, expr.New(binToExpr(in.Bin), s.reg(in.A), s.reg(in.B)))
+		case ir.OpCmp:
+			s.CurCost += cm.Cmp
+			s.setReg(in.Dst, cmpExpr(in.Pred, s.reg(in.A), s.reg(in.B)))
+		case ir.OpSelect:
+			s.CurCost += cm.Cmp
+			s.setReg(in.Dst, expr.Ite(s.reg(in.A), s.reg(in.B), s.reg(in.C)))
+		case ir.OpLoad:
+			s.Loads++
+			addr, ok := e.resolveAddr(s, expr.Add(s.reg(in.A), expr.Const(in.Imm)))
+			if !ok {
+				return forks
+			}
+			s.CurCost += e.memCost(s, addr)
+			s.setReg(in.Dst, s.mem.read(addr, in.Size))
+		case ir.OpStore:
+			s.Stores++
+			addr, ok := e.resolveAddr(s, expr.Add(s.reg(in.A), expr.Const(in.Imm)))
+			if !ok {
+				return forks
+			}
+			s.CurCost += e.memCost(s, addr)
+			s.mem.write(addr, s.reg(in.B), in.Size)
+		case ir.OpBr:
+			s.CurCost += cm.Branch
+			e.jump(s, f, in.Blk0)
+			continue
+		case ir.OpCondBr:
+			s.CurCost += cm.Branch
+			cond := s.reg(in.A)
+			if v, ok := cond.IsConst(); ok {
+				if v != 0 {
+					e.jump(s, f, in.Blk0)
+				} else {
+					e.jump(s, f, in.Blk1)
+				}
+				continue
+			}
+			forked := e.fork(s, f, in, cond)
+			if forked != nil {
+				forks = append(forks, forked)
+			}
+			continue
+		case ir.OpCall:
+			s.CurCost += cm.Call
+			callee := in.Callee
+			nf := &frame{
+				fn:     callee,
+				regs:   make([]*expr.Expr, callee.NumRegs),
+				blk:    callee.Entry(),
+				retDst: in.Dst,
+			}
+			zero := expr.Const(0)
+			for i := range nf.regs {
+				nf.regs[i] = zero
+			}
+			for i, a := range in.Args {
+				nf.regs[i] = s.reg(a)
+			}
+			f.pc++ // resume after the call on return
+			s.frames = append(s.frames, nf)
+			continue
+		case ir.OpRet:
+			s.CurCost += cm.Call
+			var ret *expr.Expr
+			if in.A != ir.NoReg {
+				ret = s.reg(in.A)
+			} else {
+				ret = expr.Const(0)
+			}
+			if len(s.frames) == 1 {
+				// Packet boundary: suspend so the searcher re-ranks this
+				// state against pending forks before the next packet —
+				// otherwise a cheap path would race through the whole
+				// sequence inside one chunk.
+				e.finishPacket(s, ret, entry)
+				return forks
+			}
+			retDst := f.retDst
+			s.frames = s.frames[:len(s.frames)-1]
+			s.setReg(retDst, ret)
+			continue
+		case ir.OpAlloc:
+			s.CurCost += cm.Alloc
+			size, ok := s.reg(in.A).IsConst()
+			if !ok {
+				s.trapped = fmt.Errorf("symbolic allocation size")
+				return forks
+			}
+			addr := (s.heapTop + 63) &^ 63
+			s.heapTop = addr + size
+			// Fresh allocations read as zero already (base memory is
+			// zero-filled), matching the interpreter.
+			s.setReg(in.Dst, expr.Const(addr))
+		case ir.OpHavoc:
+			s.CurCost += cm.Havoc
+			e.havoc(s, in)
+		default:
+			s.trapped = fmt.Errorf("bad opcode %d", in.Op)
+			return forks
+		}
+		f.pc++
+	}
+	return forks
+}
+
+func binToExpr(b ir.BinOp) expr.Op {
+	switch b {
+	case ir.Add:
+		return expr.OpAdd
+	case ir.Sub:
+		return expr.OpSub
+	case ir.Mul:
+		return expr.OpMul
+	case ir.UDiv:
+		return expr.OpUDiv
+	case ir.URem:
+		return expr.OpURem
+	case ir.And:
+		return expr.OpAnd
+	case ir.Or:
+		return expr.OpOr
+	case ir.Xor:
+		return expr.OpXor
+	case ir.Shl:
+		return expr.OpShl
+	case ir.Lshr:
+		return expr.OpLshr
+	}
+	panic("symbex: bad binop")
+}
+
+func cmpExpr(p ir.Pred, a, b *expr.Expr) *expr.Expr {
+	switch p {
+	case ir.Eq:
+		return expr.Eq(a, b)
+	case ir.Ne:
+		return expr.Ne(a, b)
+	case ir.Ult:
+		return expr.Ult(a, b)
+	case ir.Ule:
+		return expr.Ule(a, b)
+	case ir.Ugt:
+		return expr.Ult(b, a)
+	case ir.Uge:
+		return expr.Ule(b, a)
+	}
+	panic("symbex: bad pred")
+}
+
+// jump moves the frame to target, applying the loop-deepening guard: the
+// engine allows revisiting a loop head, but a state that spins too long on
+// one head is trapped (the directed searcher will have forked an exit
+// state long before).
+func (e *Engine) jump(s *State, f *frame, target *ir.Block) {
+	if e.Analysis.IsLoopHead(target) {
+		if f.blk == target || blockDominatedBy(f.blk, target) {
+			s.LoopDepth++
+			if s.LoopDepth > e.Cfg.MaxLoopIters {
+				s.trapped = fmt.Errorf("loop budget exhausted at %s", target.Name)
+				return
+			}
+		} else {
+			s.LoopDepth = 0
+		}
+	}
+	f.blk = target
+	f.pc = 0
+}
+
+// blockDominatedBy is a cheap approximation used only for loop-depth
+// bookkeeping: a back edge usually jumps from a block with a higher index
+// to the head.
+func blockDominatedBy(b, head *ir.Block) bool {
+	return b.Index >= head.Index
+}
+
+// fork splits s at a symbolic conditional branch. The state's cached
+// model satisfies exactly one side for free; the other side needs one
+// hinted solver check. The side with the higher potential continues in s
+// (the paper's loop policy: at a loop head, always pursue one more
+// iteration); the other side is returned as a new state, or nil.
+func (e *Engine) fork(s *State, f *frame, in *ir.Instr, cond *expr.Expr) *State {
+	trueC := expr.Truth(cond)
+	falseC := expr.Not(cond)
+	freeC, otherC := trueC, falseC
+	freeBlk, otherBlk := in.Blk0, in.Blk1
+	if trueC.Eval(s.model) == 0 {
+		freeC, otherC = falseC, trueC
+		freeBlk, otherBlk = in.Blk1, in.Blk0
+	}
+	an := e.PotentialAnalysis
+	if an == nil {
+		an = e.Analysis
+	}
+	preferOther := an.Potential(otherBlk, 0) > an.Potential(freeBlk, 0)
+	otherModel, otherOK := e.extendModel(s, otherC)
+	if !otherOK {
+		s.addConstraint(freeC)
+		e.jump(s, f, freeBlk)
+		return nil
+	}
+	e.forks++
+	branch := s.clone(e.nextID)
+	e.nextID++
+	if preferOther {
+		// s pursues the higher-potential side with the repaired model;
+		// the clone keeps the model-satisfied side.
+		branch.addConstraint(freeC)
+		branch.top().blk = freeBlk
+		branch.top().pc = 0
+		branch.Potential = e.potential(branch)
+		s.addConstraint(otherC)
+		s.model = otherModel
+		e.jump(s, f, otherBlk)
+		return branch
+	}
+	branch.addConstraint(otherC)
+	branch.model = otherModel
+	branch.top().blk = otherBlk
+	branch.top().pc = 0
+	branch.Potential = e.potential(branch)
+	s.addConstraint(freeC)
+	e.jump(s, f, freeBlk)
+	return branch
+}
+
+// extendModel tries to extend the state's constraints with c, returning a
+// satisfying model. Three stages, cheapest first: (1) the cached model
+// may already satisfy c; (2) local repair — re-solve only c's variables
+// with everything else substituted from the model, which handles the
+// common "pick a different source port" adjustments in microseconds;
+// (3) a full hinted solve. Unknown results are treated as infeasible,
+// preserving the model invariant.
+func (e *Engine) extendModel(s *State, c *expr.Expr) (solver.Model, bool) {
+	if b, ok := c.IsBool(); ok {
+		if b {
+			return s.model, true
+		}
+		return nil, false
+	}
+	if c.Eval(s.model) != 0 {
+		return s.model, true
+	}
+	if solver.QuickFeasible([]*expr.Expr{c}) == solver.Unsat {
+		return nil, false
+	}
+	// Prefer repairing only the in-flight packet's bytes (and havoc
+	// outputs): earlier packets' constraints stay untouched, keeping the
+	// local problem tiny.
+	switch m, res := e.localRepair(s, c, e.currentPacketFilter(s)); res {
+	case solver.Sat:
+		DbgLocal1++
+		return m, true
+	case solver.Unsat:
+		// Unsatisfiable with the whole current packet free and all earlier
+		// packets pinned. Re-choosing earlier packets' bytes could in
+		// principle reopen the branch, but the engine commits to its
+		// earlier choices (the locally-optimal policy of §3.3).
+		DbgLocalUnsat++
+		return nil, false
+	}
+	DbgFull++
+	all := append(append([]*expr.Expr(nil), s.constraints...), c)
+	e.sol.Hint = s.model
+	res, m := e.sol.Check(all)
+	e.sol.Hint = nil
+	if res != solver.Sat {
+		DbgFullFail++
+		return nil, false
+	}
+	return m, true
+}
+
+// Debug counters (instrumentation; reset freely in tests).
+var DbgLocal1, DbgLocal2, DbgLocalUnsat, DbgFull, DbgFullFail int
+
+// DbgDump, when set, receives local problems the budgeted solver could not
+// decide (instrumentation).
+var DbgDump func(c *expr.Expr, local []*expr.Expr, free map[expr.VarID]bool)
+
+// currentPacketFilter restricts repairs to the in-flight packet's bytes
+// and havoc output symbols.
+func (e *Engine) currentPacketFilter(s *State) func(expr.VarID) bool {
+	lo := expr.VarID(s.PacketsDone * e.Cfg.PacketLen)
+	hi := lo + expr.VarID(e.Cfg.PacketLen)
+	havocBase := e.havocVarBase()
+	return func(v expr.VarID) bool {
+		return (v >= lo && v < hi) || v >= havocBase
+	}
+}
+
+// localRepair attempts to satisfy c by reassigning only the variables
+// occurring in c (optionally narrowed by filter): every other variable is
+// pinned to its model value, and the constraints sharing the free
+// variables are re-solved as a small local problem. Failure is not
+// conclusive (the pinning may be too rigid), so callers fall through.
+func (e *Engine) localRepair(s *State, c *expr.Expr, filter func(expr.VarID) bool) (solver.Model, solver.Result) {
+	vars := c.VarList()
+	if len(vars) == 0 || len(vars) > 40 {
+		return nil, solver.Unknown
+	}
+	free := make(map[expr.VarID]bool, len(vars))
+	for _, v := range vars {
+		if filter == nil || filter(v) {
+			free[v] = true
+		}
+	}
+	if len(free) == 0 {
+		return nil, solver.Unknown
+	}
+	fixed := make(map[expr.VarID]uint64)
+	collectFixed := func(ex *expr.Expr) {
+		for _, v := range ex.VarList() {
+			if !free[v] {
+				fixed[v] = s.model[v] & 0xff
+			}
+		}
+	}
+	var local []*expr.Expr
+	for _, pc := range s.constraints {
+		shares := false
+		for _, v := range pc.VarList() {
+			if free[v] {
+				shares = true
+				break
+			}
+		}
+		if !shares {
+			continue
+		}
+		collectFixed(pc)
+		local = append(local, pc.Substitute(fixed))
+	}
+	collectFixed(c)
+	local = append(local, c.Substitute(fixed))
+	sol := solver.Solver{MaxSteps: 20000, Hint: s.model}
+	res, m := sol.Check(local)
+	if res != solver.Sat {
+		if DbgDump != nil && res == solver.Unknown {
+			DbgDump(c, local, free)
+		}
+		return nil, res
+	}
+	merged := make(solver.Model, len(s.model)+len(m))
+	for k, v := range s.model {
+		merged[k] = v
+	}
+	for k, v := range m {
+		merged[k] = v
+	}
+	return merged, solver.Sat
+}
+
+// relevantConstraints selects the conjuncts sharing variables with c,
+// expanded by one transitive hop.
+func relevantConstraints(all []*expr.Expr, c *expr.Expr) []*expr.Expr {
+	want := map[expr.VarID]bool{}
+	for _, v := range c.VarList() {
+		want[v] = true
+	}
+	var out []*expr.Expr
+	used := make([]bool, len(all))
+	for hop := 0; hop < 2; hop++ {
+		for i, pc := range all {
+			if used[i] {
+				continue
+			}
+			vs := pc.VarList()
+			hit := false
+			for _, v := range vs {
+				if want[v] {
+					hit = true
+					break
+				}
+			}
+			if hit {
+				used[i] = true
+				out = append(out, pc)
+				for _, v := range vs {
+					want[v] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// resolveAddr turns a (possibly symbolic) address expression into a
+// concrete address, implementing §3.3: prefer candidates in the currently
+// most-contended contention set, then lines already hot on this path
+// (locally optimal for collision attacks), and finally any satisfying
+// address — which the cached model provides for free.
+func (e *Engine) resolveAddr(s *State, a *expr.Expr) (uint64, bool) {
+	if v, ok := a.IsConst(); ok {
+		return v, true
+	}
+	if s.tracker != nil {
+		iv := expr.Range(a, nil)
+		lb := uint64(e.Model.LineBytes)
+		candidates := s.tracker.Candidates()
+		hot := s.tracker.HotLines()
+		lists := [2][]uint64{candidates, hot}
+		caps := [2]int{24, 8}
+		for li, list := range lists {
+			tried := 0
+			for _, line := range list {
+				if line+lb <= iv.Lo || line > iv.Hi || tried >= caps[li] {
+					continue
+				}
+				tried++
+				inLine := expr.Eq(expr.And(a, expr.Const(^(lb - 1))), expr.Const(line))
+				m, ok := e.extendModel(s, inLine)
+				if !ok {
+					continue
+				}
+				s.model = m
+				addr := a.Eval(m)
+				s.addConstraint(expr.Eq(a, expr.Const(addr)))
+				return addr, true
+			}
+		}
+	}
+	// Fallback: the cached model already satisfies the path constraint, so
+	// it directly yields a consistent concrete address.
+	addr := a.Eval(s.model)
+	s.addConstraint(expr.Eq(a, expr.Const(addr)))
+	return addr, true
+}
+
+// memCost charges the cycle cost of an access at a concrete address, using
+// the cache tracker's prediction (DRAM for cold or thrashing lines, L1
+// otherwise).
+func (e *Engine) memCost(s *State, addr uint64) uint64 {
+	if s.tracker != nil {
+		if s.tracker.RecordAccess(addr) {
+			s.ExpectDRAM++
+			return e.Analysis.Cost.MemL1 + 206 // DRAM latency delta
+		}
+		s.ExpectHit++
+		return e.Analysis.Cost.MemL1
+	}
+	s.ExpectHit++
+	return e.Analysis.Cost.MemL1
+}
+
+// havoc implements OpHavoc symbolically: fresh output variables replace
+// the hash value, and the (key, output) pair is recorded for rainbow
+// reconciliation. A concrete key region is required (NF keys live in
+// fixed scratch buffers).
+func (e *Engine) havoc(s *State, in *ir.Instr) {
+	keyAddr, ok := s.reg(in.A).IsConst()
+	if !ok {
+		s.trapped = fmt.Errorf("symbolic havoc key address")
+		return
+	}
+	h := e.Mod.Hashes[in.HashID]
+	keyLen := int(in.Imm)
+	key := make([]*expr.Expr, keyLen)
+	for i := range key {
+		key[i] = s.mem.readByte(keyAddr + uint64(i))
+	}
+	nOut := (h.Bits + 7) / 8
+	outVars := make([]expr.VarID, nOut)
+	outBytes := make([]*expr.Expr, nOut)
+	for i := range outVars {
+		outVars[i] = s.nextHavocVar
+		s.nextHavocVar++
+		outBytes[i] = expr.Var(outVars[i])
+	}
+	out := expr.ConcatBytes(outBytes...)
+	if h.Bits%8 != 0 {
+		mask := uint64(1)<<uint(h.Bits) - 1
+		out = expr.And(out, expr.Const(mask))
+	}
+	s.Havocs = append(s.Havocs, HavocRecord{
+		HashID:  in.HashID,
+		Packet:  s.PacketsDone,
+		KeyAddr: keyAddr,
+		KeyLen:  keyLen,
+		Key:     key,
+		OutVars: outVars,
+		Out:     out,
+	})
+	s.setReg(in.Dst, out)
+}
+
+// finishPacket records the completed packet and either injects the next
+// one or marks the state done. Returns true when the state finished all
+// packets (so the caller stops stepping it).
+func (e *Engine) finishPacket(s *State, ret *expr.Expr, entry *ir.Func) bool {
+	cost := s.CurCost - s.packetStartCost
+	s.PacketCosts = append(s.PacketCosts, cost)
+	rv, _ := ret.IsConst()
+	s.PacketRet = append(s.PacketRet, rv)
+	s.PacketsDone++
+	if s.PacketsDone >= e.Cfg.NPackets {
+		s.Done = true
+		return true
+	}
+	s.LoopDepth = 0
+	e.injectPacket(s, entry)
+	return false
+}

@@ -1,0 +1,91 @@
+// Package symbex is the symbolic-execution engine at CASTAN's core: it
+// explores execution paths of an IR network function over a sequence of
+// symbolic packets, tracking per-path cycle costs (current + potential,
+// §3.1/§3.4), concretizing symbolic pointers adversarially through the
+// cache model (§3.3), and havocing hash functions (§3.5). A directed
+// searcher orders pending states by expected cycles-per-packet and
+// explores the most expensive first.
+package symbex
+
+import (
+	"castan/internal/expr"
+	"castan/internal/interp"
+)
+
+// symMemory is a copy-on-write symbolic overlay over a concrete base
+// memory snapshot. Unwritten bytes read through to the base; written or
+// symbolic bytes live in the overlay as expressions.
+type symMemory struct {
+	base    *interp.Memory
+	overlay map[uint64]*expr.Expr // per-byte expressions
+}
+
+func newSymMemory(base *interp.Memory) *symMemory {
+	return &symMemory{base: base, overlay: map[uint64]*expr.Expr{}}
+}
+
+func (m *symMemory) clone() *symMemory {
+	n := &symMemory{base: m.base, overlay: make(map[uint64]*expr.Expr, len(m.overlay))}
+	for k, v := range m.overlay {
+		n.overlay[k] = v
+	}
+	return n
+}
+
+// readByte returns the expression for one byte.
+func (m *symMemory) readByte(addr uint64) *expr.Expr {
+	if e, ok := m.overlay[addr]; ok {
+		return e
+	}
+	return expr.Const(uint64(m.base.LoadByte(addr)))
+}
+
+// read assembles size bytes big-endian.
+func (m *symMemory) read(addr uint64, size uint8) *expr.Expr {
+	// Fast path: fully concrete range.
+	concrete := true
+	for i := uint64(0); i < uint64(size); i++ {
+		if e, ok := m.overlay[addr+i]; ok && e.HasVars() {
+			concrete = false
+			break
+		}
+	}
+	if concrete {
+		var v uint64
+		for i := uint64(0); i < uint64(size); i++ {
+			b := uint64(m.base.LoadByte(addr + i))
+			if e, ok := m.overlay[addr+i]; ok {
+				b, _ = e.IsConst()
+			}
+			v = v<<8 | b
+		}
+		return expr.Const(v)
+	}
+	bs := make([]*expr.Expr, size)
+	for i := range bs {
+		bs[i] = m.readByte(addr + uint64(i))
+	}
+	return expr.ConcatBytes(bs...)
+}
+
+// write stores an expression as size big-endian bytes.
+func (m *symMemory) write(addr uint64, val *expr.Expr, size uint8) {
+	if v, ok := val.IsConst(); ok {
+		for i := uint64(0); i < uint64(size); i++ {
+			shift := (uint64(size) - 1 - i) * 8
+			m.overlay[addr+i] = expr.Const((v >> shift) & 0xff)
+		}
+		return
+	}
+	for i := uint64(0); i < uint64(size); i++ {
+		shift := (uint64(size) - 1 - i) * 8
+		m.overlay[addr+i] = expr.Byte(val, int(shift/8))
+	}
+}
+
+// setSymbolicBytes installs fresh variables at [addr, addr+n).
+func (m *symMemory) setSymbolicBytes(addr uint64, vars []expr.VarID) {
+	for i, v := range vars {
+		m.overlay[addr+uint64(i)] = expr.Var(v)
+	}
+}

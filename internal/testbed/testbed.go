@@ -1,0 +1,215 @@
+// Package testbed reproduces the paper's measurement campaign (§5.1) on
+// the simulated DUT: it replays workloads through an NF running on the IR
+// interpreter, accounts CPU cycles with the shared cost model, drives
+// every load/store through the simulated cache hierarchy (with DDIO
+// placement of packet headers), and reports the paper's three metric
+// families — end-to-end latency CDFs, maximum throughput at <1% loss, and
+// per-packet micro-architectural counters (instructions retired, L3
+// misses).
+package testbed
+
+import (
+	"fmt"
+
+	"castan/internal/icfg"
+	"castan/internal/interp"
+	"castan/internal/ir"
+	"castan/internal/memsim"
+	"castan/internal/nf"
+	"castan/internal/stats"
+	"castan/internal/workload"
+)
+
+// Options configures a measurement.
+type Options struct {
+	// Geometry of the DUT; zero value means memsim.DefaultGeometry.
+	Geometry memsim.Geometry
+	// Seed fixes the DUT's hidden hash and page mapping.
+	Seed uint64
+	// WireNS is the constant TG↔DUT wire/NIC/timestamping latency added
+	// to every packet (the NOP floor of the figures). Default 4060 ns.
+	WireNS float64
+	// OverheadCycles models the DPDK driver/mbuf path per packet.
+	// Default 900.
+	OverheadCycles uint64
+	// MeasureCap bounds the measured packets per experiment (the paper
+	// replays for 20 s; we replay the workload in a loop until this many
+	// packets are measured). Default 8192.
+	MeasureCap int
+	// QueueDepth is the DUT RX descriptor ring for throughput search.
+	// Default 256.
+	QueueDepth int
+}
+
+func (o *Options) fill() {
+	if o.Geometry.LineBytes == 0 {
+		o.Geometry = memsim.DefaultGeometry()
+	}
+	if o.WireNS == 0 {
+		o.WireNS = 4060
+	}
+	if o.OverheadCycles == 0 {
+		o.OverheadCycles = 900
+	}
+	if o.MeasureCap <= 0 {
+		o.MeasureCap = 8192
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 256
+	}
+}
+
+// Measurement is the result of one (NF, workload) experiment.
+type Measurement struct {
+	NF       string
+	Workload string
+	// Latency is the end-to-end per-packet latency CDF in nanoseconds.
+	Latency *stats.CDF
+	// Cycles is the per-packet reference-cycles CDF.
+	Cycles *stats.CDF
+	// Instrs is the per-packet instructions-retired CDF.
+	Instrs *stats.CDF
+	// L3Misses is the per-packet DRAM-access CDF.
+	L3Misses *stats.CDF
+	// ThroughputMpps is the maximum offered load with <1% loss.
+	ThroughputMpps float64
+}
+
+// MedianDeviation returns this measurement's median latency minus the
+// baseline's (the paper's Table 5 metric).
+func (m *Measurement) MedianDeviation(nop *Measurement) float64 {
+	return m.Latency.Median() - nop.Latency.Median()
+}
+
+// Measure replays the workload against a fresh instance of the named NF.
+func Measure(nfName string, wl *workload.Workload, opt Options) (*Measurement, error) {
+	opt.fill()
+	if len(wl.Frames) == 0 {
+		return nil, fmt.Errorf("testbed: workload %s empty", wl.Name)
+	}
+	inst, err := nf.New(nfName)
+	if err != nil {
+		return nil, err
+	}
+	hier := memsim.New(opt.Geometry, opt.Seed)
+	cost := icfg.DefaultCostModel()
+
+	var cycles, instrs, misses uint64
+	inst.Machine.Hooks = interp.Hooks{
+		OnInstr: func(fn *ir.Func, in *ir.Instr) {
+			instrs++
+			if in.Op != ir.OpLoad && in.Op != ir.OpStore {
+				cycles += cost.InstrCost(in)
+			}
+		},
+		OnMem: func(a interp.MemAccess) {
+			lvl, cyc := hier.Access(a.Addr, a.Size, a.IsWrite)
+			cycles += cyc
+			if lvl == memsim.DRAM {
+				misses++
+			}
+		},
+	}
+
+	runPacket := func(frame []byte) error {
+		hier.InjectPacket(ir.PacketBase, len(frame))
+		inst.Machine.Mem.WriteBytes(ir.PacketBase, frame)
+		_, err := inst.Machine.Call("nf_process", ir.PacketBase, uint64(len(frame)))
+		return err
+	}
+
+	// Warm-up pass: install all flow state and warm the caches, like the
+	// start of the paper's 20-second looped replay.
+	for _, fr := range wl.Frames {
+		if err := runPacket(fr); err != nil {
+			return nil, fmt.Errorf("testbed: warmup: %w", err)
+		}
+	}
+
+	// Measurement pass: loop the workload until MeasureCap packets.
+	n := opt.MeasureCap
+	latency := make([]float64, 0, n)
+	cyc := make([]float64, 0, n)
+	ins := make([]float64, 0, n)
+	mis := make([]float64, 0, n)
+	serviceNS := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		fr := wl.Frames[i%len(wl.Frames)]
+		cycles, instrs, misses = 0, 0, 0
+		if err := runPacket(fr); err != nil {
+			return nil, fmt.Errorf("testbed: measure: %w", err)
+		}
+		total := cycles + opt.OverheadCycles
+		latency = append(latency, opt.WireNS+hier.CyclesToNanos(total))
+		cyc = append(cyc, float64(total))
+		ins = append(ins, float64(instrs))
+		mis = append(mis, float64(misses))
+		serviceNS = append(serviceNS, hier.CyclesToNanos(total))
+	}
+	inst.Machine.Hooks = interp.Hooks{}
+
+	return &Measurement{
+		NF:             nfName,
+		Workload:       wl.Name,
+		Latency:        stats.NewCDF(latency),
+		Cycles:         stats.NewCDF(cyc),
+		Instrs:         stats.NewCDF(ins),
+		L3Misses:       stats.NewCDF(mis),
+		ThroughputMpps: maxThroughput(serviceNS, opt.QueueDepth),
+	}, nil
+}
+
+// maxThroughput finds the highest arrival rate (Mpps) at which a
+// single-server queue with the observed service times drops less than 1%
+// of packets, via binary search over deterministic arrivals.
+func maxThroughput(serviceNS []float64, queueDepth int) float64 {
+	// Simulate enough arrivals that a queue buildup cannot hide overload
+	// within the window (the paper offers load for 20 seconds).
+	arrivals := len(serviceNS)
+	if arrivals < 20000 {
+		arrivals = 20000
+	}
+	lossAt := func(mpps float64) float64 {
+		interval := 1000.0 / mpps // ns between arrivals
+		inSystem := make([]float64, 0, queueDepth+1) // finish times, FIFO
+		var lastFinish float64
+		drops := 0
+		for i := 0; i < arrivals; i++ {
+			s := serviceNS[i%len(serviceNS)]
+			t := float64(i) * interval
+			// Depart everything that finished by now.
+			k := 0
+			for k < len(inSystem) && inSystem[k] <= t {
+				k++
+			}
+			inSystem = inSystem[k:]
+			if len(inSystem) > queueDepth {
+				drops++
+				continue
+			}
+			start := t
+			if len(inSystem) > 0 {
+				start = lastFinish
+			}
+			lastFinish = start + s
+			inSystem = append(inSystem, lastFinish)
+		}
+		return float64(drops) / float64(arrivals)
+	}
+	lo, hi := 0.05, 40.0
+	for i := 0; i < 40; i++ {
+		mid := (lo + hi) / 2
+		if lossAt(mid) < 0.01 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// MeasureNOP measures the baseline forwarder under the 1 Packet workload
+// (its behaviour is workload-independent).
+func MeasureNOP(opt Options) (*Measurement, error) {
+	return Measure("nop", workload.OnePacket(workload.ProfileLPM), opt)
+}

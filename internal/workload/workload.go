@@ -1,0 +1,194 @@
+// Package workload generates the packet workloads of §5.1: 1 Packet,
+// Zipfian (s = 1.26, the paper's exponent fit from a university trace),
+// UniRand, UniRand-CASTAN (UniRand restricted to the CASTAN workload's
+// flow count), and wrappers for the Manual and CASTAN workloads. Frames
+// are plain Ethernet/IPv4/UDP and can be exported as PCAP.
+package workload
+
+import (
+	"fmt"
+
+	"castan/internal/nf"
+	"castan/internal/packet"
+	"castan/internal/pcap"
+	"castan/internal/stats"
+)
+
+// Default workload sizes (scaled from the paper's 100K-packet Zipfian /
+// 1M-packet UniRand by the same factor as the flow tables; the ratios —
+// UniRand flows ≈ 16× the chain buckets, ring load ≈ 6% — are preserved).
+const (
+	DefaultPackets      = 65536
+	DefaultZipfUniverse = 4096
+	ZipfExponent        = 1.26
+)
+
+// Profile selects the traffic shape an NF class finds "interesting": the
+// paper tailors workloads so LB traffic targets the VIP and NAT traffic
+// originates inside (§5.1).
+type Profile string
+
+// Profiles.
+const (
+	ProfileLPM Profile = "lpm"
+	ProfileNAT Profile = "nat"
+	ProfileLB  Profile = "lb"
+)
+
+// ProfileFor maps an NF name to its workload profile.
+func ProfileFor(nfName string) Profile {
+	switch {
+	case len(nfName) >= 3 && nfName[:3] == "nat":
+		return ProfileNAT
+	case len(nfName) >= 2 && nfName[:2] == "lb":
+		return ProfileLB
+	default:
+		return ProfileLPM
+	}
+}
+
+// Workload is a named packet sequence.
+type Workload struct {
+	Name   string
+	Frames [][]byte
+	Flows  int
+}
+
+// Save writes the workload as a PCAP file.
+func (w *Workload) Save(path string) error {
+	if len(w.Frames) == 0 {
+		return fmt.Errorf("workload %s: empty", w.Name)
+	}
+	return pcap.WriteFile(path, w.Frames)
+}
+
+// FromPCAP loads a workload from a PCAP file.
+func FromPCAP(name, path string) (*Workload, error) {
+	frames, err := pcap.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	flows := map[packet.FiveTuple]bool{}
+	for _, fr := range frames {
+		if p, err := packet.Parse(fr); err == nil {
+			flows[p.Tuple()] = true
+		}
+	}
+	return &Workload{Name: name, Frames: frames, Flows: len(flows)}, nil
+}
+
+// flowFrame builds the i-th flow's frame for a profile. Distinct indices
+// produce distinct flows; the index is scattered through a bijective
+// 24-bit mix so flow keys are unordered, as random traffic would be.
+func flowFrame(p Profile, idx uint64, rng *stats.RNG) []byte {
+	scatter := scatter24(uint32(idx) & 0x00ffffff)
+	port := uint16(1 + (idx*0x85ebca77>>7)&0x7fff)
+	spec := packet.Spec{Proto: packet.ProtoUDP}
+	switch p {
+	case ProfileNAT:
+		// Internal clients toward external servers.
+		spec.SrcIP = nf.NATInternalNet | scatter
+		spec.DstIP = 0x08080000 | uint32(rng.Uint32()&0xffff)
+		spec.SrcPort = port
+		spec.DstPort = 53
+	case ProfileLB:
+		// The only interesting case: destination is the VIP (§5.1).
+		spec.SrcIP = 0x40000000 | scatter // 64.x.y.z clients
+		spec.DstIP = nf.LBVIP
+		spec.SrcPort = port
+		spec.DstPort = 80
+	default:
+		// LPM: spread destinations across the address space, half of them
+		// inside the FIB's covered 10-17/8 range so routes are exercised.
+		if idx%2 == 0 {
+			spec.DstIP = (10+uint32(idx/2)%8)<<24 | uint32(rng.Uint32()&0x00ffffff)
+		} else {
+			spec.DstIP = rng.Uint32()
+		}
+		spec.SrcIP = 0xc0000000 | uint32(idx&0xffffff)
+		spec.SrcPort, spec.DstPort = 1000, 2000
+	}
+	return packet.Build(spec)
+}
+
+// scatter24 is a bijective 24-bit permutation (3-round Feistel) used to
+// derive unordered flow keys from sequential indices: "random" traffic
+// must not insert sorted keys into the tree NFs.
+func scatter24(x uint32) uint32 {
+	l, r := x>>12&0xfff, x&0xfff
+	for i := uint32(0); i < 3; i++ {
+		f := (r*2654435761 + i*0x9e37) >> 20 & 0xfff
+		l, r = r, l^f
+	}
+	return l<<12 | r
+}
+
+// OnePacket is the best-case workload: one representative packet replayed
+// in a loop by the testbed.
+func OnePacket(p Profile) *Workload {
+	rng := stats.NewRNG(1)
+	return &Workload{Name: "1 Packet", Frames: [][]byte{flowFrame(p, 7, rng)}, Flows: 1}
+}
+
+// Zipfian generates `packets` frames whose flows follow a Zipf
+// distribution with the paper's exponent over a `universe` of flows.
+func Zipfian(p Profile, packets, universe int, seed uint64) (*Workload, error) {
+	if packets <= 0 {
+		packets = DefaultPackets
+	}
+	if universe <= 0 {
+		universe = DefaultZipfUniverse
+	}
+	rng := stats.NewRNG(seed)
+	z, err := stats.NewZipf(rng, universe, ZipfExponent)
+	if err != nil {
+		return nil, err
+	}
+	// Pre-build the flow universe.
+	frameRng := stats.NewRNG(seed + 1)
+	flows := make([][]byte, universe)
+	for i := range flows {
+		flows[i] = flowFrame(p, uint64(i), frameRng)
+	}
+	frames := make([][]byte, packets)
+	seen := map[int]bool{}
+	for i := range frames {
+		r := z.Next()
+		seen[r] = true
+		frames[i] = flows[r]
+	}
+	return &Workload{Name: "Zipfian", Frames: frames, Flows: len(seen)}, nil
+}
+
+// UniRand generates `packets` frames, each its own flow — the
+// stress-test/DoS-style workload.
+func UniRand(p Profile, packets int, seed uint64) *Workload {
+	if packets <= 0 {
+		packets = DefaultPackets
+	}
+	rng := stats.NewRNG(seed)
+	frames := make([][]byte, packets)
+	for i := range frames {
+		frames[i] = flowFrame(p, uint64(i), rng)
+	}
+	return &Workload{Name: "UniRand", Frames: frames, Flows: packets}
+}
+
+// UniRandN is UniRand restricted to n flows (the CASTAN workload's flow
+// count), for the paper's "UniRand CASTAN" fairness baseline.
+func UniRandN(p Profile, n int, seed uint64) *Workload {
+	w := UniRand(p, n, seed+0x5eed)
+	w.Name = "UniRand CASTAN"
+	return w
+}
+
+// FromFrames wraps raw frames (Manual and CASTAN workloads).
+func FromFrames(name string, frames [][]byte) *Workload {
+	flows := map[packet.FiveTuple]bool{}
+	for _, fr := range frames {
+		if p, err := packet.Parse(fr); err == nil {
+			flows[p.Tuple()] = true
+		}
+	}
+	return &Workload{Name: name, Frames: frames, Flows: len(flows)}
+}

@@ -1,0 +1,170 @@
+package workload
+
+import (
+	"path/filepath"
+	"testing"
+
+	"castan/internal/nf"
+	"castan/internal/packet"
+)
+
+func TestProfileFor(t *testing.T) {
+	cases := map[string]Profile{
+		"nat-chain": ProfileNAT,
+		"nat-ring":  ProfileNAT,
+		"lb-rbtree": ProfileLB,
+		"lpm-trie":  ProfileLPM,
+		"nop":       ProfileLPM,
+	}
+	for name, want := range cases {
+		if got := ProfileFor(name); got != want {
+			t.Errorf("ProfileFor(%s) = %s, want %s", name, got, want)
+		}
+	}
+}
+
+func TestOnePacket(t *testing.T) {
+	for _, p := range []Profile{ProfileLPM, ProfileNAT, ProfileLB} {
+		w := OnePacket(p)
+		if len(w.Frames) != 1 || w.Flows != 1 {
+			t.Errorf("%s: frames=%d flows=%d", p, len(w.Frames), w.Flows)
+		}
+		if _, err := packet.Parse(w.Frames[0]); err != nil {
+			t.Errorf("%s: %v", p, err)
+		}
+	}
+}
+
+func TestUniRandDistinctFlows(t *testing.T) {
+	for _, p := range []Profile{ProfileNAT, ProfileLB} {
+		w := UniRand(p, 5000, 7)
+		seen := map[packet.FiveTuple]bool{}
+		for _, fr := range w.Frames {
+			pk, err := packet.Parse(fr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tup := pk.Tuple()
+			if seen[tup] {
+				t.Fatalf("%s: duplicate flow %v", p, tup)
+			}
+			seen[tup] = true
+			switch p {
+			case ProfileNAT:
+				if tup.SrcIP&nf.NATInternalMask != nf.NATInternalNet {
+					t.Fatalf("NAT flow outside internal net: %v", tup)
+				}
+			case ProfileLB:
+				if tup.DstIP != nf.LBVIP {
+					t.Fatalf("LB flow not VIP-destined: %v", tup)
+				}
+			}
+		}
+	}
+}
+
+func TestUniRandKeysUnordered(t *testing.T) {
+	// The scatter must break monotonicity: consecutive flows must not have
+	// monotonically increasing source IPs (that would skew the BSTs).
+	w := UniRand(ProfileNAT, 200, 1)
+	increasing := 0
+	var prev uint32
+	for i, fr := range w.Frames {
+		p, _ := packet.Parse(fr)
+		if i > 0 && p.IP.Src > prev {
+			increasing++
+		}
+		prev = p.IP.Src
+	}
+	if increasing > 150 {
+		t.Errorf("srcIPs nearly sorted: %d/199 increasing", increasing)
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	w, err := Zipfian(ProfileLB, 20000, 512, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Frames) != 20000 {
+		t.Fatalf("frames = %d", len(w.Frames))
+	}
+	counts := map[packet.FiveTuple]int{}
+	for _, fr := range w.Frames {
+		p, _ := packet.Parse(fr)
+		counts[p.Tuple()]++
+	}
+	if len(counts) > 512 {
+		t.Errorf("universe exceeded: %d flows", len(counts))
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	// The top flow should dominate: with s=1.26 over 512 flows it carries
+	// roughly a quarter of the traffic.
+	if max < 2000 {
+		t.Errorf("top flow only %d/20000 packets; not Zipf-skewed", max)
+	}
+	if w.Flows != len(counts) {
+		t.Errorf("Flows = %d, want %d", w.Flows, len(counts))
+	}
+}
+
+func TestZipfianValidation(t *testing.T) {
+	if _, err := Zipfian(ProfileLB, 10, -3, 1); err == nil {
+		// negative universe falls back to default, so no error; but a zero
+		// exponent path is covered inside stats. Just assert default works.
+		t.Log("negative universe handled via default")
+	}
+}
+
+func TestUniRandN(t *testing.T) {
+	w := UniRandN(ProfileLB, 40, 9)
+	if len(w.Frames) != 40 || w.Flows != 40 {
+		t.Errorf("frames=%d flows=%d", len(w.Frames), w.Flows)
+	}
+	if w.Name != "UniRand CASTAN" {
+		t.Errorf("name = %q", w.Name)
+	}
+}
+
+func TestFromFramesAndPCAPRoundTrip(t *testing.T) {
+	orig := UniRand(ProfileLB, 17, 5)
+	w := FromFrames("X", orig.Frames)
+	if w.Flows != 17 {
+		t.Errorf("flows = %d", w.Flows)
+	}
+	path := filepath.Join(t.TempDir(), "w.pcap")
+	if err := w.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromPCAP("Y", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Frames) != 17 || back.Flows != 17 {
+		t.Errorf("reloaded: frames=%d flows=%d", len(back.Frames), back.Flows)
+	}
+	empty := &Workload{Name: "empty"}
+	if err := empty.Save(filepath.Join(t.TempDir(), "e.pcap")); err == nil {
+		t.Error("empty save accepted")
+	}
+}
+
+func TestLPMWorkloadCoversFIB(t *testing.T) {
+	w := UniRand(ProfileLPM, 1000, 3)
+	routes := nf.DefaultFIB(false)
+	hits := 0
+	for _, fr := range w.Frames {
+		p, _ := packet.Parse(fr)
+		if nf.LookupFIB(routes, p.IP.Dst) != 0 {
+			hits++
+		}
+	}
+	if hits < 300 {
+		t.Errorf("only %d/1000 packets hit the FIB", hits)
+	}
+}
