@@ -1,0 +1,40 @@
+# Make targets mirror the CI pipeline (.github/workflows/ci.yml) exactly,
+# so "it passed locally" and "it passed CI" mean the same thing.
+
+GO ?= go
+
+.PHONY: all build test race bench bench-smoke fmt fmt-fix vet check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full campaign: regenerates every table and figure under results/.
+bench:
+	$(GO) test -bench . -benchmem .
+
+# Scaled-down benchmark pass (what CI runs): every benchmark executes
+# once with -short budgets, proving the harness end to end in minutes.
+bench-smoke:
+	$(GO) test -short -bench . -benchtime 1x -run '^$$' .
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+fmt-fix:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+check: fmt vet build test

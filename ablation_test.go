@@ -14,6 +14,10 @@ import (
 // how much each of CASTAN's two signature mechanisms contributes.
 func runAblation(b *testing.B, nfName string, toggleCache, toggleRainbow bool) {
 	b.Helper()
+	npackets, maxStates := 20, 20000
+	if testing.Short() {
+		npackets, maxStates = 8, 6000
+	}
 	analyze := func(noCache, noRainbow bool) *castan.Output {
 		inst, err := nf.New(nfName)
 		if err != nil {
@@ -21,8 +25,8 @@ func runAblation(b *testing.B, nfName string, toggleCache, toggleRainbow bool) {
 		}
 		hier := memsim.New(memsim.DefaultGeometry(), 2018)
 		out, err := castan.Analyze(inst, hier, castan.Config{
-			NPackets:     20,
-			MaxStates:    20000,
+			NPackets:     npackets,
+			MaxStates:    maxStates,
 			Seed:         2018,
 			NoCacheModel: noCache,
 			NoRainbow:    noRainbow,

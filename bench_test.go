@@ -27,9 +27,29 @@ var (
 
 // benchCampaign returns the shared, full-scale campaign. Workload sizes
 // follow §5.1 (scaled per DESIGN.md); CASTAN packet counts follow the
-// paper's Table 4 where tractable.
+// paper's Table 4 where tractable. Under -short (the CI bench-smoke job)
+// every knob is scaled down so the whole suite completes in minutes while
+// still exercising each table and figure end to end.
 func benchCampaign() *experiments.Campaign {
 	campaignOnce.Do(func() {
+		if testing.Short() {
+			campaign = experiments.NewCampaign(experiments.Config{
+				Seed:         2018,
+				Packets:      4096,
+				ZipfUniverse: 512,
+				MeasureCap:   512,
+				CastanStates: 30000,
+				CastanPackets: map[string]int{
+					"nat-ubtree": 6, "lb-ubtree": 6,
+					"nat-rbtree": 6, "lb-rbtree": 6,
+					"lpm-trie": 8, "lpm-dl1": 8, "lpm-dl2": 8,
+					"lb-chain": 8, "nat-chain": 8,
+					"lb-ring": 6, "nat-ring": 6,
+				},
+			})
+			_ = os.MkdirAll("results", 0o755)
+			return
+		}
 		campaign = experiments.NewCampaign(experiments.Config{
 			Seed:         2018,
 			Packets:      65536,
@@ -83,16 +103,16 @@ func benchFigure(b *testing.B, id int, metricUnit string) {
 	}
 }
 
-func BenchmarkFig04LatencyLPMDL1(b *testing.B)     { benchFigure(b, 4, "ns") }
-func BenchmarkFig05CyclesLPMDL1(b *testing.B)      { benchFigure(b, 5, "cyc") }
-func BenchmarkFig06LatencyLPMDL2(b *testing.B)     { benchFigure(b, 6, "ns") }
-func BenchmarkFig07LatencyLPMTrie(b *testing.B)    { benchFigure(b, 7, "ns") }
-func BenchmarkFig08CyclesLPMTrie(b *testing.B)     { benchFigure(b, 8, "cyc") }
-func BenchmarkFig09LatencyNATUBTree(b *testing.B)  { benchFigure(b, 9, "ns") }
-func BenchmarkFig10CyclesNATUBTree(b *testing.B)   { benchFigure(b, 10, "cyc") }
-func BenchmarkFig11LatencyNATRBTree(b *testing.B)  { benchFigure(b, 11, "ns") }
-func BenchmarkFig12LatencyLBHashTable(b *testing.B) { benchFigure(b, 12, "ns") }
-func BenchmarkFig13LatencyLBHashRing(b *testing.B) { benchFigure(b, 13, "ns") }
+func BenchmarkFig04LatencyLPMDL1(b *testing.B)       { benchFigure(b, 4, "ns") }
+func BenchmarkFig05CyclesLPMDL1(b *testing.B)        { benchFigure(b, 5, "cyc") }
+func BenchmarkFig06LatencyLPMDL2(b *testing.B)       { benchFigure(b, 6, "ns") }
+func BenchmarkFig07LatencyLPMTrie(b *testing.B)      { benchFigure(b, 7, "ns") }
+func BenchmarkFig08CyclesLPMTrie(b *testing.B)       { benchFigure(b, 8, "cyc") }
+func BenchmarkFig09LatencyNATUBTree(b *testing.B)    { benchFigure(b, 9, "ns") }
+func BenchmarkFig10CyclesNATUBTree(b *testing.B)     { benchFigure(b, 10, "cyc") }
+func BenchmarkFig11LatencyNATRBTree(b *testing.B)    { benchFigure(b, 11, "ns") }
+func BenchmarkFig12LatencyLBHashTable(b *testing.B)  { benchFigure(b, 12, "ns") }
+func BenchmarkFig13LatencyLBHashRing(b *testing.B)   { benchFigure(b, 13, "ns") }
 func BenchmarkFig14LatencyNATHashTable(b *testing.B) { benchFigure(b, 14, "ns") }
 func BenchmarkFig15LatencyNATHashRing(b *testing.B)  { benchFigure(b, 15, "ns") }
 

@@ -34,6 +34,7 @@ func main() {
 		report   = flag.String("report", "", "write the per-packet metrics report (JSON) to this path")
 		noRain   = flag.Bool("no-rainbow", false, "disable havoc reconciliation (ablation)")
 		validate = flag.Bool("validate", true, "replay the workload on the interpreter as a sanity check")
+		workers  = flag.Int("workers", 0, "worker count for parallel analysis stages (0 = GOMAXPROCS); output is identical at any value")
 	)
 	flag.Parse()
 	if *nfName == "" {
@@ -60,6 +61,7 @@ func main() {
 		Seed:         *seed,
 		NoCacheModel: *noCache,
 		NoRainbow:    *noRain,
+		Workers:      *workers,
 	}
 	if *modelIn != "" {
 		m, err := cachemodel.LoadFile(*modelIn)

@@ -35,6 +35,7 @@ func main() {
 		nfName  = flag.String("nf", "", "measure one NF under a custom workload")
 		pcapIn  = flag.String("pcap", "", "PCAP file with the custom workload")
 		mix     = flag.String("mix", "", "run the adversarial-fraction sweep (§5.5 future work) for this NF")
+		workers = flag.Int("workers", 0, "worker count for the campaign (0 = GOMAXPROCS); table cells are identical at any value")
 	)
 	flag.Parse()
 
@@ -47,6 +48,7 @@ func main() {
 		Seed:         *seed,
 		Packets:      *packets,
 		CastanStates: *states,
+		Workers:      *workers,
 	})
 	var subset []string
 	if *nfs != "" {

@@ -264,3 +264,40 @@ func TestModelLoadRejectsGarbage(t *testing.T) {
 		t.Error("empty set accepted")
 	}
 }
+
+// TestDiscoverWorkerCountInvariant asserts the determinism contract of
+// parallel discovery: with forked probers, any worker count yields the
+// same contention sets (same count, same sorted members) as a fully
+// sequential run without forks.
+func TestDiscoverWorkerCountInvariant(t *testing.T) {
+	g := memsim.TinyGeometry()
+	run := func(workers int) *Model {
+		h := memsim.New(g, 11)
+		cfg := tinyConfig(pool(0, 64))
+		cfg.Workers = workers
+		cfg.Fork = func() Prober { return h.Fork() }
+		m, err := Discover(h, cfg)
+		if err != nil {
+			t.Fatalf("Discover(workers=%d): %v", workers, err)
+		}
+		return m
+	}
+	ref := run(1)
+	for _, w := range []int{2, 4, 8} {
+		m := run(w)
+		if len(m.Sets) != len(ref.Sets) {
+			t.Fatalf("w=%d: %d sets, want %d", w, len(m.Sets), len(ref.Sets))
+		}
+		for si := range ref.Sets {
+			got, want := m.Sets[si].Addrs, ref.Sets[si].Addrs
+			if len(got) != len(want) {
+				t.Fatalf("w=%d set %d: %d members, want %d", w, si, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("w=%d set %d member %d: %#x, want %#x", w, si, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 
+	"castan/internal/parallel"
 	"castan/internal/stats"
 )
 
@@ -84,6 +85,16 @@ type DiscoverConfig struct {
 	Reboots int
 	// Seed drives the shuffled growth order.
 	Seed uint64
+	// Workers bounds the fan-out of the candidate sweep and the
+	// consistency filter (0 = GOMAXPROCS). Discovery output is identical
+	// at every worker count.
+	Workers int
+	// Fork, when set, returns an independent prober sharing the hidden
+	// state and current address mapping of p (e.g. memsim's
+	// Hierarchy.Fork). Without it the sweep and filter run sequentially
+	// regardless of Workers, since concurrent probes on one prober would
+	// perturb each other.
+	Fork func() Prober
 }
 
 // Discover runs the §3.2 pipeline and returns the model.
@@ -103,6 +114,20 @@ func Discover(p Prober, cfg DiscoverConfig) (*Model, error) {
 	d := &discoverer{p: p, cfg: cfg, rng: stats.NewRNG(cfg.Seed ^ 0xca57a)}
 	pool := append([]uint64(nil), cfg.Pool...)
 	d.rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+
+	// Pre-fault every candidate once, in pool order. Lazy first touches
+	// would otherwise happen in probe order anyway — the grow and sweep
+	// phases walk the pool front to back — so this does not change any
+	// probe result; it guarantees that forked probers never allocate
+	// mappings of their own, which is what makes sweep results
+	// independent of how candidates are divided among workers.
+	d.probe(pool)
+	if w := parallel.Workers(cfg.Workers); w > 1 && cfg.Fork != nil {
+		d.forks = make([]Prober, w)
+		for i := range d.forks {
+			d.forks[i] = cfg.Fork()
+		}
+	}
 
 	model := &Model{Assoc: cfg.Assoc, LineBytes: cfg.LineBytes}
 	for cfg.MaxSets == 0 || len(model.Sets) < cfg.MaxSets {
@@ -130,16 +155,21 @@ func Discover(p Prober, cfg DiscoverConfig) (*Model, error) {
 }
 
 type discoverer struct {
-	p   Prober
-	cfg DiscoverConfig
-	rng *stats.RNG
+	p     Prober
+	cfg   DiscoverConfig
+	rng   *stats.RNG
+	forks []Prober // per-worker probers; nil = sequential probing only
 }
 
 func (d *discoverer) probe(s []uint64) uint64 {
+	return d.probeOn(d.p, s)
+}
+
+func (d *discoverer) probeOn(p Prober, s []uint64) uint64 {
 	if len(s) == 0 {
 		return 0
 	}
-	return d.p.ProbeTime(s, d.cfg.Rounds)
+	return p.ProbeTime(s, d.cfg.Rounds)
 }
 
 // thresholds: growDelta detects "a chunk addition caused contention";
@@ -229,25 +259,47 @@ func (d *discoverer) findOne(pool []uint64) (set []uint64, rest []uint64, found 
 
 	// Step 3: sweep the rest of the pool for further members of C:
 	// replace one member with the candidate; if the probe time stays
-	// high, the candidate belongs to C.
+	// high, the candidate belongs to C. Each candidate's probe flushes the
+	// caches first and every page is pre-faulted, so probes are mutually
+	// independent — the sweep shards across forked probers, and the hit
+	// list is applied in pool order to keep member order identical to a
+	// sequential sweep.
 	inSet := map[uint64]bool{}
 	for _, a := range members {
 		inSet[a] = true
 	}
 	base := d.probe(members)
-	swap := append([]uint64(nil), members...)
+	cands := make([]uint64, 0, len(pool)-len(members))
 	for _, a := range pool {
-		if inSet[a] {
-			continue
-		}
-		swap[0] = a
-		t := d.probe(swap)
-		if t+d.sweepDelta() > base {
-			members = append(members, a)
-			inSet[a] = true
+		if !inSet[a] {
+			cands = append(cands, a)
 		}
 	}
-	swap[0] = members[0]
+	hits := make([]bool, len(cands))
+	sweepOne := func(p Prober, swap []uint64, i int) bool {
+		swap[0] = cands[i]
+		t := d.probeOn(p, swap)
+		return t+d.sweepDelta() > base
+	}
+	if d.forks == nil {
+		swap := append([]uint64(nil), members...)
+		for i := range cands {
+			hits[i] = sweepOne(d.p, swap, i)
+		}
+	} else {
+		parallel.Shards(len(d.forks), len(cands), func(shard, lo, hi int) {
+			swap := append([]uint64(nil), members...)
+			for i := lo; i < hi; i++ {
+				hits[i] = sweepOne(d.forks[shard], swap, i)
+			}
+		})
+	}
+	for i, hit := range hits {
+		if hit {
+			members = append(members, cands[i])
+			inSet[cands[i]] = true
+		}
+	}
 
 	rest = make([]uint64, 0, len(pool)-len(members))
 	for _, a := range pool {
@@ -266,27 +318,46 @@ func (d *discoverer) filterConsistent(m *Model) {
 	if d.cfg.Reboots <= 0 {
 		return
 	}
+	// Each set's verdict depends only on (set index, reboot round): Reboot
+	// fully resets a prober's mapping and caches, so the per-set loop
+	// shards across forked probers without any cross-talk.
+	ok := make([]bool, len(m.Sets))
+	if d.forks == nil {
+		for si, set := range m.Sets {
+			ok[si] = d.consistentAcrossReboots(d.p, si, set)
+		}
+	} else {
+		parallel.Shards(len(d.forks), len(m.Sets), func(shard, lo, hi int) {
+			for si := lo; si < hi; si++ {
+				ok[si] = d.consistentAcrossReboots(d.forks[shard], si, m.Sets[si])
+			}
+		})
+	}
 	kept := m.Sets[:0]
 	for si, set := range m.Sets {
-		ok := true
-		for r := 1; r <= d.cfg.Reboots; r++ {
-			d.p.Reboot(d.cfg.Seed + uint64(si*1000+r))
-			core := set.Addrs
-			if len(core) > d.cfg.Assoc+1 {
-				core = core[:d.cfg.Assoc+1]
-			}
-			t := d.probe(core)
-			// Contention signature: substantially more than all-hit time.
-			allHit := uint64(d.cfg.Rounds) * uint64(len(core)) * d.cfg.LatL3
-			if t < allHit+d.memberDelta() {
-				ok = false
-				break
-			}
-		}
-		if ok {
+		if ok[si] {
 			kept = append(kept, set)
 		}
 	}
 	d.p.Reboot(d.cfg.Seed) // restore a defined mapping
 	m.Sets = kept
+}
+
+// consistentAcrossReboots re-verifies one set's contention signature on p
+// across the configured simulated reboots.
+func (d *discoverer) consistentAcrossReboots(p Prober, si int, set ContentionSet) bool {
+	for r := 1; r <= d.cfg.Reboots; r++ {
+		p.Reboot(d.cfg.Seed + uint64(si*1000+r))
+		core := set.Addrs
+		if len(core) > d.cfg.Assoc+1 {
+			core = core[:d.cfg.Assoc+1]
+		}
+		t := d.probeOn(p, core)
+		// Contention signature: substantially more than all-hit time.
+		allHit := uint64(d.cfg.Rounds) * uint64(len(core)) * d.cfg.LatL3
+		if t < allHit+d.memberDelta() {
+			return false
+		}
+	}
+	return true
 }

@@ -26,6 +26,7 @@ import (
 	"castan/internal/nf"
 	"castan/internal/nfhash"
 	"castan/internal/packet"
+	"castan/internal/parallel"
 	"castan/internal/rainbow"
 	"castan/internal/solver"
 	"castan/internal/stats"
@@ -67,6 +68,11 @@ type Config struct {
 	// default), which plays the role of the paper's always-deepen loop
 	// policy.
 	ICFGLoopBound int
+	// Workers bounds the analysis fan-out (0 = GOMAXPROCS): rainbow-chain
+	// generation, contention-set sweeps, batched candidate solver checks
+	// during havoc reconciliation, and frame extraction. Output is
+	// identical at every worker count.
+	Workers int
 }
 
 func (c *Config) fill() {
@@ -234,6 +240,8 @@ func discoverModel(inst *nf.Instance, hier *memsim.Hierarchy, cfg Config) *cache
 		LatDRAM:   geo.LatDRAM,
 		MaxSets:   cfg.DiscoverMaxSets,
 		Seed:      cfg.Seed,
+		Workers:   cfg.Workers,
+		Fork:      func() cachemodel.Prober { return hier.Fork() },
 	})
 	if err != nil {
 		return nil
@@ -269,7 +277,7 @@ func concretize(inst *nf.Instance, eng *symbex.Engine, st *symbex.State, cfg Con
 			if !known {
 				continue
 			}
-			ok, extra := reconcileHavoc(&sol, cons, mdl, pinnedVars, usedKeys, h, hu, tables[h.HashID])
+			ok, extra := reconcileHavoc(&sol, cons, mdl, pinnedVars, usedKeys, h, hu, tables[h.HashID], cfg.Workers)
 			if ok {
 				cons = append(cons, extra...)
 				m2, err := sol.Solve(cons)
@@ -291,10 +299,9 @@ func concretize(inst *nf.Instance, eng *symbex.Engine, st *symbex.State, cfg Con
 		}
 	}
 
-	frames := make([][]byte, eng.Cfg.NPackets)
-	for p := range frames {
-		frames[p] = frameFromModel(eng, mdl, p)
-	}
+	frames := parallel.Map(cfg.Workers, eng.Cfg.NPackets, func(p int) []byte {
+		return frameFromModel(eng, mdl, p)
+	})
 	out := &Output{
 		NF:               inst.Name,
 		Frames:           frames,
@@ -313,8 +320,10 @@ func concretize(inst *nf.Instance, eng *symbex.Engine, st *symbex.State, cfg Con
 }
 
 // buildRainbowTables builds (and memoizes per process) one rainbow table
-// per havocable hash site.
-var rainbowCache = map[string]*rainbow.Table{}
+// per havocable hash site. The cache is a single-flight group: concurrent
+// analyses of NFs sharing a hash site (the campaign fans out across NFs)
+// build each table exactly once instead of racing on a bare map.
+var rainbowCache parallel.Group[string, *rainbow.Table]
 
 func buildRainbowTables(inst *nf.Instance, cfg Config) map[int]*rainbow.Table {
 	out := map[int]*rainbow.Table{}
@@ -323,16 +332,15 @@ func buildRainbowTables(inst *nf.Instance, cfg Config) map[int]*rainbow.Table {
 			continue
 		}
 		key := fmt.Sprintf("%s/%d/%d/%T%v", inst.Name, h.HashID, h.Bits, h.Space, h.Space)
-		tbl, ok := rainbowCache[key]
-		if !ok {
+		h := h
+		tbl, err := rainbowCache.Do(key, func() (*rainbow.Table, error) {
 			rcfg := rainbow.DefaultConfig(h.Bits)
 			rcfg.Chains *= cfg.RainbowCoverage
-			var err error
-			tbl, err = rainbow.Build(h.Fn, h.Space, rcfg)
-			if err != nil {
-				continue
-			}
-			rainbowCache[key] = tbl
+			rcfg.Workers = cfg.Workers
+			return rainbow.Build(h.Fn, h.Space, rcfg)
+		})
+		if err != nil {
+			continue
 		}
 		out[h.HashID] = tbl
 	}
@@ -343,7 +351,7 @@ func buildRainbowTables(inst *nf.Instance, cfg Config) map[int]*rainbow.Table {
 // havoc record: solve for the hash value the path wants, invert it with
 // the rainbow table, and re-check the preimage against the packet
 // constraints. Returns pin constraints on success.
-func reconcileHavoc(sol *solver.Solver, cons []*expr.Expr, mdl solver.Model, pinnedVars map[expr.VarID]bool, usedKeys map[string]bool, h symbex.HavocRecord, hu nf.HashUse, tbl *rainbow.Table) (bool, []*expr.Expr) {
+func reconcileHavoc(sol *solver.Solver, cons []*expr.Expr, mdl solver.Model, pinnedVars map[expr.VarID]bool, usedKeys map[string]bool, h symbex.HavocRecord, hu nf.HashUse, tbl *rainbow.Table, workers int) (bool, []*expr.Expr) {
 	if tbl == nil {
 		return false, nil
 	}
@@ -401,32 +409,57 @@ func reconcileHavoc(sol *solver.Solver, cons []*expr.Expr, mdl solver.Model, pin
 		}
 		candidates = append(candidates, tbl.BruteForce(want, 48, budget, want^uint64(h.Packet)*0x9e3779b9)...)
 	}
+	viable := candidates[:0]
 	for _, key := range candidates {
+		if len(key) != len(h.Key) {
+			continue
+		}
 		if usedKeys[string(key)] {
 			continue // identical to an already-pinned key: flow uniqueness
 		}
-		pins := make([]*expr.Expr, 0, len(key)+len(h.OutVars))
-		ok := len(key) == len(h.Key)
-		for i, ke := range h.Key {
-			if !ok {
-				break
-			}
-			pins = append(pins, expr.Eq(ke, expr.Const(uint64(key[i]))))
-		}
-		if !ok {
-			continue
-		}
-		pins = append(pins, pinOut(h, want)...)
-		all := append(append([]*expr.Expr(nil), cons...), pins...)
-		if solver.QuickFeasible(all) == solver.Unsat {
-			continue
-		}
-		if res, _ := sol.Check(all); res == solver.Sat {
-			usedKeys[string(key)] = true
-			return true, pins
-		}
+		viable = append(viable, key)
 	}
-	return false, nil
+
+	// Candidate checks are independent — each builds its own pin set over
+	// the shared constraint prefix — so they fan out in batches, keeping
+	// sequential semantics by accepting the lowest-index Sat candidate.
+	// Shared expression nodes cache var lists and const-ness lazily;
+	// warm those caches up front so concurrent checks only read them.
+	warmExprs(cons)
+	warmExprs(h.Key)
+	pins := make([][]*expr.Expr, len(viable))
+	hit := parallel.First(workers, len(viable), func(i int) bool {
+		key := viable[i]
+		p := make([]*expr.Expr, 0, len(key)+len(h.OutVars))
+		for j, ke := range h.Key {
+			p = append(p, expr.Eq(ke, expr.Const(uint64(key[j]))))
+		}
+		p = append(p, pinOut(h, want)...)
+		all := append(append([]*expr.Expr(nil), cons...), p...)
+		if solver.QuickFeasible(all) == solver.Unsat {
+			return false
+		}
+		worker := solver.Solver{MaxSteps: sol.MaxSteps, Hint: sol.Hint}
+		if res, _ := worker.Check(all); res != solver.Sat {
+			return false
+		}
+		pins[i] = p
+		return true
+	})
+	if hit < 0 {
+		return false, nil
+	}
+	usedKeys[string(viable[hit])] = true
+	return true, pins[hit]
+}
+
+// warmExprs populates the lazily cached per-node fields (variable lists,
+// const-ness) of every node reachable from es, so that subsequent
+// concurrent traversals of the shared DAG are read-only.
+func warmExprs(es []*expr.Expr) {
+	for _, e := range es {
+		e.VarList()
+	}
 }
 
 // pinOut pins the havoc's output variables to a concrete hash value.

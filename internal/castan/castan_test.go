@@ -237,3 +237,36 @@ func TestAblationRainbowMatters(t *testing.T) {
 		t.Errorf("unreconciled workload still piles %d into one bucket (lucky?)", max)
 	}
 }
+
+// TestAnalyzeWorkerCountInvariant asserts the end-to-end determinism
+// contract: the same seed produces byte-identical frames, the same
+// explored-state count, and the same reconciliation outcome at every
+// worker count. lb-chain exercises all parallel stages (discovery sweep,
+// rainbow build, batched reconciliation checks, frame extraction).
+func TestAnalyzeWorkerCountInvariant(t *testing.T) {
+	run := func(workers int) *Output {
+		return analyze(t, "lb-chain", Config{NPackets: 12, MaxStates: 4000, Seed: 1, Workers: workers})
+	}
+	ref := run(1)
+	for _, w := range []int{4, 8} {
+		out := run(w)
+		if out.StatesExplored != ref.StatesExplored {
+			t.Errorf("w=%d: %d states explored, want %d", w, out.StatesExplored, ref.StatesExplored)
+		}
+		if out.HavocsReconciled != ref.HavocsReconciled || out.HavocsTotal != ref.HavocsTotal {
+			t.Errorf("w=%d: havocs %d/%d, want %d/%d", w,
+				out.HavocsReconciled, out.HavocsTotal, ref.HavocsReconciled, ref.HavocsTotal)
+		}
+		if out.ContentionSetsFound != ref.ContentionSetsFound {
+			t.Errorf("w=%d: %d contention sets, want %d", w, out.ContentionSetsFound, ref.ContentionSetsFound)
+		}
+		if len(out.Frames) != len(ref.Frames) {
+			t.Fatalf("w=%d: %d frames, want %d", w, len(out.Frames), len(ref.Frames))
+		}
+		for i := range ref.Frames {
+			if !bytes.Equal(out.Frames[i], ref.Frames[i]) {
+				t.Fatalf("w=%d: frame %d differs:\n got %x\nwant %x", w, i, out.Frames[i], ref.Frames[i])
+			}
+		}
+	}
+}

@@ -9,12 +9,12 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 	"time"
 
 	"castan/internal/castan"
 	"castan/internal/memsim"
 	"castan/internal/nf"
+	"castan/internal/parallel"
 	"castan/internal/stats"
 	"castan/internal/testbed"
 	"castan/internal/workload"
@@ -35,6 +35,12 @@ type Config struct {
 	// CastanPackets overrides the synthesized workload length per NF;
 	// missing entries use the paper's Table 4 sizes.
 	CastanPackets map[string]int
+	// Workers bounds the campaign fan-out (0 = GOMAXPROCS): per-NF CASTAN
+	// analyses, per-workload measurements, and the parallel stages inside
+	// each analysis. Every rendered table and figure is identical at
+	// every worker count (Table 4's wall-clock column excepted — it
+	// reports real elapsed time by design).
+	Workers int
 }
 
 func (c *Config) fill() {
@@ -71,66 +77,53 @@ var PaperPackets = map[string]int{
 }
 
 // Campaign caches per-NF CASTAN outputs and measurements across the
-// tables and figures, which share them.
+// tables and figures, which share them. All caches are memoizing
+// single-flight groups, so concurrent figure/table renders — and the
+// campaign's own fan-out across NFs and workloads — never recompute or
+// duplicate an analysis or a measurement.
 type Campaign struct {
 	cfg  Config
 	opts testbed.Options
 
-	mu       sync.Mutex
-	outs     map[string]*castan.Output
-	outErrs  map[string]error
-	measures map[string]map[string]*testbed.Measurement
-	nop      *testbed.Measurement
+	outs parallel.Group[string, *castan.Output]
+	meas parallel.Group[string, *testbed.Measurement]
+	nop  parallel.Group[struct{}, *testbed.Measurement]
 }
 
 // NewCampaign prepares a campaign.
 func NewCampaign(cfg Config) *Campaign {
 	cfg.fill()
 	return &Campaign{
-		cfg:      cfg,
-		opts:     testbed.Options{Seed: cfg.Seed, MeasureCap: cfg.MeasureCap},
-		outs:     map[string]*castan.Output{},
-		outErrs:  map[string]error{},
-		measures: map[string]map[string]*testbed.Measurement{},
+		cfg:  cfg,
+		opts: testbed.Options{Seed: cfg.Seed, MeasureCap: cfg.MeasureCap},
 	}
 }
 
 // Castan returns (cached) the CASTAN analysis of the named NF.
 func (c *Campaign) Castan(nfName string) (*castan.Output, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if out, ok := c.outs[nfName]; ok {
-		return out, nil
-	}
-	if err, ok := c.outErrs[nfName]; ok {
-		return nil, err
-	}
-	inst, err := nf.New(nfName)
-	if err != nil {
-		return nil, err
-	}
-	np := c.cfg.CastanPackets[nfName]
-	if np == 0 {
-		np = PaperPackets[nfName]
-	}
-	if np == 0 {
-		np = 30
-	}
-	hier := memsim.New(c.opts.Geometry, c.cfg.Seed)
-	if c.opts.Geometry.LineBytes == 0 {
-		hier = memsim.New(memsim.DefaultGeometry(), c.cfg.Seed)
-	}
-	out, err := castan.Analyze(inst, hier, castan.Config{
-		NPackets:  np,
-		MaxStates: c.cfg.CastanStates,
-		Seed:      c.cfg.Seed,
+	return c.outs.Do(nfName, func() (*castan.Output, error) {
+		inst, err := nf.New(nfName)
+		if err != nil {
+			return nil, err
+		}
+		np := c.cfg.CastanPackets[nfName]
+		if np == 0 {
+			np = PaperPackets[nfName]
+		}
+		if np == 0 {
+			np = 30
+		}
+		hier := memsim.New(c.opts.Geometry, c.cfg.Seed)
+		if c.opts.Geometry.LineBytes == 0 {
+			hier = memsim.New(memsim.DefaultGeometry(), c.cfg.Seed)
+		}
+		return castan.Analyze(inst, hier, castan.Config{
+			NPackets:  np,
+			MaxStates: c.cfg.CastanStates,
+			Seed:      c.cfg.Seed,
+			Workers:   c.cfg.Workers,
+		})
 	})
-	if err != nil {
-		c.outErrs[nfName] = err
-		return nil, err
-	}
-	c.outs[nfName] = out
-	return out, nil
 }
 
 // Workloads assembles the full workload set for an NF: 1 Packet, Zipfian,
@@ -165,63 +158,45 @@ func (c *Campaign) Workloads(nfName string) ([]*workload.Workload, error) {
 
 // Measure returns (cached) the measurement of one NF under one workload.
 func (c *Campaign) Measure(nfName string, wl *workload.Workload) (*testbed.Measurement, error) {
-	c.mu.Lock()
-	byWl, ok := c.measures[nfName]
-	if !ok {
-		byWl = map[string]*testbed.Measurement{}
-		c.measures[nfName] = byWl
-	}
-	if m, ok := byWl[wl.Name]; ok {
-		c.mu.Unlock()
-		return m, nil
-	}
-	c.mu.Unlock()
-	m, err := testbed.Measure(nfName, wl, c.opts)
-	if err != nil {
-		return nil, err
-	}
-	c.mu.Lock()
-	byWl[wl.Name] = m
-	c.mu.Unlock()
-	return m, nil
+	return c.meas.Do(nfName+"\x00"+wl.Name, func() (*testbed.Measurement, error) {
+		return testbed.Measure(nfName, wl, c.opts)
+	})
 }
 
-// MeasureAll measures every workload for an NF, returning them keyed by
-// workload name (plus the NOP baseline under "NOP").
+// MeasureAll measures every workload for an NF — fanning out across the
+// campaign's workers — returning them keyed by workload name (plus the
+// NOP baseline under "NOP").
 func (c *Campaign) MeasureAll(nfName string) (map[string]*testbed.Measurement, error) {
 	wls, err := c.Workloads(nfName)
 	if err != nil {
 		return nil, err
 	}
-	out := map[string]*testbed.Measurement{}
-	for _, wl := range wls {
-		m, err := c.Measure(nfName, wl)
-		if err != nil {
-			return nil, fmt.Errorf("measure %s/%s: %w", nfName, wl.Name, err)
+	ms, err := parallel.MapErr(c.cfg.Workers, len(wls)+1, func(i int) (*testbed.Measurement, error) {
+		if i == len(wls) {
+			return c.NOP()
 		}
-		out[wl.Name] = m
-	}
-	nop, err := c.NOP()
+		m, err := c.Measure(nfName, wls[i])
+		if err != nil {
+			return nil, fmt.Errorf("measure %s/%s: %w", nfName, wls[i].Name, err)
+		}
+		return m, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	out["NOP"] = nop
+	out := map[string]*testbed.Measurement{}
+	for i, wl := range wls {
+		out[wl.Name] = ms[i]
+	}
+	out["NOP"] = ms[len(wls)]
 	return out, nil
 }
 
 // NOP returns the cached NOP baseline measurement.
 func (c *Campaign) NOP() (*testbed.Measurement, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.nop != nil {
-		return c.nop, nil
-	}
-	nop, err := testbed.MeasureNOP(c.opts)
-	if err != nil {
-		return nil, err
-	}
-	c.nop = nop
-	return nop, nil
+	return c.nop.Do(struct{}{}, func() (*testbed.Measurement, error) {
+		return testbed.MeasureNOP(c.opts)
+	})
 }
 
 // Figure is one reproduced figure: named CDF series over a shared axis.
@@ -342,24 +317,23 @@ var TableNFs = []string{
 var workloadRows = []string{"NOP", "1 Packet", "Zipfian", "UniRand", "UniRand CASTAN", "CASTAN", "Manual"}
 
 // metricTable builds Tables 1-3: one row per workload, one column per NF.
+// Columns are independent (NF campaigns share only cached artifacts), so
+// they fan out across the campaign's workers and merge in column order.
 func (c *Campaign) metricTable(id int, title string, nfs []string, cell func(m *testbed.Measurement) string) (*Table, error) {
 	t := &Table{ID: id, Title: title, Columns: nfs}
+	cols, err := parallel.MapErr(c.cfg.Workers, len(nfs), func(col int) (map[string]*testbed.Measurement, error) {
+		return c.MeasureAll(nfs[col])
+	})
+	if err != nil {
+		return nil, err
+	}
 	rows := map[string]*TableRow{}
 	for _, w := range workloadRows {
 		rows[w] = &TableRow{Label: w, Cells: make([]string, len(nfs))}
 	}
-	for col, nfName := range nfs {
-		ms, err := c.MeasureAll(nfName)
-		if err != nil {
-			return nil, err
-		}
+	for col := range nfs {
 		for _, w := range workloadRows {
-			if w == "NOP" {
-				nop, _ := c.NOP()
-				rows[w].Cells[col] = cell(nop)
-				continue
-			}
-			if m, ok := ms[w]; ok {
+			if m, ok := cols[col][w]; ok {
 				rows[w].Cells[col] = cell(m)
 			} else {
 				rows[w].Cells[col] = "-"
@@ -410,11 +384,14 @@ func (c *Campaign) Table4(nfs []string) (*Table, error) {
 		nfs = TableNFs
 	}
 	t := &Table{ID: 4, Title: "CASTAN workload sizes and analysis time", Columns: []string{"# Packets", "Time (s)", "States", "Havocs"}}
-	for _, nfName := range nfs {
-		out, err := c.Castan(nfName)
-		if err != nil {
-			return nil, err
-		}
+	outs, err := parallel.MapErr(c.cfg.Workers, len(nfs), func(i int) (*castan.Output, error) {
+		return c.Castan(nfs[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, nfName := range nfs {
+		out := outs[i]
 		t.Rows = append(t.Rows, TableRow{
 			Label: nfName,
 			Cells: []string{
@@ -439,21 +416,25 @@ func (c *Campaign) Table5(nfs []string) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, nfName := range nfs {
-		ms, err := c.MeasureAll(nfName)
+	rows, err := parallel.MapErr(c.cfg.Workers, len(nfs), func(i int) (TableRow, error) {
+		ms, err := c.MeasureAll(nfs[i])
 		if err != nil {
-			return nil, err
+			return TableRow{}, err
 		}
 		cells := make([]string, 3)
-		for i, w := range []string{"Zipfian", "Manual", "CASTAN"} {
+		for j, w := range []string{"Zipfian", "Manual", "CASTAN"} {
 			if m, ok := ms[w]; ok {
-				cells[i] = fmt.Sprintf("%.0f", m.MedianDeviation(nop))
+				cells[j] = fmt.Sprintf("%.0f", m.MedianDeviation(nop))
 			} else {
-				cells[i] = "-"
+				cells[j] = "-"
 			}
 		}
-		t.Rows = append(t.Rows, TableRow{Label: nfName, Cells: cells})
+		return TableRow{Label: nfs[i], Cells: cells}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 

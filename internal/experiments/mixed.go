@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"castan/internal/parallel"
 	"castan/internal/stats"
 	"castan/internal/testbed"
 	"castan/internal/workload"
@@ -95,19 +96,24 @@ func (c *Campaign) MixedSweep(nfName string, fractions []float64) (*MixedResult,
 	}
 	adv := workload.FromFrames("CASTAN", out.Frames)
 	res := &MixedResult{NF: nfName}
-	for _, f := range fractions {
+	points, err := parallel.MapErr(c.cfg.Workers, len(fractions), func(i int) (MixPoint, error) {
+		f := fractions[i]
 		wl := MixWorkloads(zipf, adv, f)
 		m, err := testbed.Measure(nfName, wl, c.opts)
 		if err != nil {
-			return nil, fmt.Errorf("mixed %s @%.2f: %w", nfName, f, err)
+			return MixPoint{}, fmt.Errorf("mixed %s @%.2f: %w", nfName, f, err)
 		}
-		res.Points = append(res.Points, MixPoint{
+		return MixPoint{
 			Fraction:       f,
 			MedianNS:       m.Latency.Median(),
 			P95NS:          m.Latency.Quantile(0.95),
 			ThroughputMpps: m.ThroughputMpps,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Points = points
 	return res, nil
 }
 

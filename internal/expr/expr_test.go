@@ -230,13 +230,13 @@ func TestRangeComparisons(t *testing.T) {
 	// v1 concat v2 is in [0, 65535]; comparing against disjoint constants
 	// must fold the comparison range to a point.
 	w := ConcatBytes(Var(1), Var(2))
-	if iv := Range(Ult(w, Const(1 << 20)), nil); iv.Lo != 1 || iv.Hi != 1 {
+	if iv := Range(Ult(w, Const(1<<20)), nil); iv.Lo != 1 || iv.Hi != 1 {
 		t.Errorf("w < 2^20 range = %+v, want [1,1]", iv)
 	}
-	if iv := Range(Eq(w, Const(1 << 20)), nil); iv.Lo != 0 || iv.Hi != 0 {
+	if iv := Range(Eq(w, Const(1<<20)), nil); iv.Lo != 0 || iv.Hi != 0 {
 		t.Errorf("w == 2^20 range = %+v, want [0,0]", iv)
 	}
-	if iv := Range(Ne(w, Const(1 << 20)), nil); iv.Lo != 1 || iv.Hi != 1 {
+	if iv := Range(Ne(w, Const(1<<20)), nil); iv.Lo != 1 || iv.Hi != 1 {
 		t.Errorf("w != 2^20 range = %+v, want [1,1]", iv)
 	}
 	if iv := Range(Eq(w, Const(100)), nil); iv.Lo != 0 || iv.Hi != 1 {

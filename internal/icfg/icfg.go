@@ -91,7 +91,7 @@ type Analysis struct {
 }
 
 type funcInfo struct {
-	summary   uint64             // max cost entry→return
+	summary   uint64               // max cost entry→return
 	blockCost map[*ir.Block]uint64 // includes callee summaries at call sites
 	potential map[*ir.Block]uint64 // max cost from block start → return
 	loopHead  map[*ir.Block]bool

@@ -48,19 +48,19 @@ type Opcode uint8
 
 // Instruction opcodes.
 const (
-	OpConst Opcode = iota // Dst = Imm
-	OpMov                 // Dst = A
-	OpBin                 // Dst = A <Bin> B
-	OpCmp                 // Dst = A <Pred> B (0 or 1)
-	OpSelect              // Dst = A != 0 ? B : C
-	OpLoad                // Dst = mem[A + Imm], Size bytes, big-endian
-	OpStore               // mem[A + Imm] = B, Size bytes, big-endian
-	OpBr                  // goto Blk0
-	OpCondBr              // A != 0 ? goto Blk0 : goto Blk1
-	OpCall                // Dst = Callee(Args...)
-	OpRet                 // return A (or 0 if A == NoReg)
-	OpAlloc               // Dst = heap allocation of A bytes, zeroed
-	OpHavoc               // Dst = hash[HashID](mem[A .. A+Imm))
+	OpConst  Opcode = iota // Dst = Imm
+	OpMov                  // Dst = A
+	OpBin                  // Dst = A <Bin> B
+	OpCmp                  // Dst = A <Pred> B (0 or 1)
+	OpSelect               // Dst = A != 0 ? B : C
+	OpLoad                 // Dst = mem[A + Imm], Size bytes, big-endian
+	OpStore                // mem[A + Imm] = B, Size bytes, big-endian
+	OpBr                   // goto Blk0
+	OpCondBr               // A != 0 ? goto Blk0 : goto Blk1
+	OpCall                 // Dst = Callee(Args...)
+	OpRet                  // return A (or 0 if A == NoReg)
+	OpAlloc                // Dst = heap allocation of A bytes, zeroed
+	OpHavoc                // Dst = hash[HashID](mem[A .. A+Imm))
 )
 
 var opcodeNames = [...]string{

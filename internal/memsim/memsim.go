@@ -223,6 +223,31 @@ func New(geo Geometry, seed uint64) *Hierarchy {
 // Geometry returns the configured geometry.
 func (h *Hierarchy) Geometry() Geometry { return h.geo }
 
+// Fork returns an independent copy of the hierarchy: same hidden slice
+// hash, same current virtual→physical mapping (including the allocator
+// state for pages not yet touched), private cache and counter state.
+// Parallel discovery probes forks so concurrent workers cannot perturb
+// each other; as long as probed pages are already mapped (or every fork
+// replays the same allocation sequence, as after Reboot), a fork's
+// ProbeTime is bit-identical to the parent's.
+func (h *Hierarchy) Fork() *Hierarchy {
+	f := &Hierarchy{
+		geo:     h.geo,
+		secretF: h.secretF,
+		secretG: h.secretG,
+		pageMap: make(map[uint64]uint64, len(h.pageMap)),
+		pageRng: h.pageRng.Clone(),
+		nextPPN: h.nextPPN,
+		l1:      newCache(h.geo.L1Sets, h.geo.L1Ways),
+		l2:      newCache(h.geo.L2Sets, h.geo.L2Ways),
+		l3:      newCache(h.geo.L3Slices*h.geo.L3SetsPerSlice, h.geo.L3Ways),
+	}
+	for vpn, ppn := range h.pageMap {
+		f.pageMap[vpn] = ppn
+	}
+	return f
+}
+
 // Reboot installs a fresh random virtual→physical hugepage mapping and
 // clears the caches, emulating a machine reboot.
 func (h *Hierarchy) Reboot(bootID uint64) {

@@ -46,20 +46,20 @@ const (
 // Offsets of selected fields from the start of the frame. These are shared
 // with the IR network functions, which address packet bytes directly.
 const (
-	OffEtherDst  = 0
-	OffEtherSrc  = 6
-	OffEtherType = 12
-	OffIPVerIHL  = 14
-	OffIPTotLen  = 16
-	OffIPTTL     = 22
-	OffIPProto   = 23
+	OffEtherDst   = 0
+	OffEtherSrc   = 6
+	OffEtherType  = 12
+	OffIPVerIHL   = 14
+	OffIPTotLen   = 16
+	OffIPTTL      = 22
+	OffIPProto    = 23
 	OffIPChecksum = 24
-	OffIPSrc     = 26
-	OffIPDst     = 30
-	OffL4SrcPort = 34
-	OffL4DstPort = 36
-	OffUDPLen    = 38
-	OffUDPCksum  = 40
+	OffIPSrc      = 26
+	OffIPDst      = 30
+	OffL4SrcPort  = 34
+	OffL4DstPort  = 36
+	OffUDPLen     = 38
+	OffUDPCksum   = 40
 )
 
 // MAC is a 48-bit Ethernet address.
@@ -127,11 +127,11 @@ type TCP struct {
 // buffer is authoritative; the decoded layers are views that were valid at
 // Parse time. After mutating layers, call Serialize to refresh the bytes.
 type Packet struct {
-	Eth  Ethernet
-	IP   IPv4
-	UDP  *UDP // non-nil iff IP.Proto == ProtoUDP
-	TCP  *TCP // non-nil iff IP.Proto == ProtoTCP
-	Raw  []byte
+	Eth Ethernet
+	IP  IPv4
+	UDP *UDP // non-nil iff IP.Proto == ProtoUDP
+	TCP *TCP // non-nil iff IP.Proto == ProtoTCP
+	Raw []byte
 }
 
 // Parse decodes an Ethernet/IPv4/{UDP,TCP} frame. It returns an error if

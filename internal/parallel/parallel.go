@@ -1,0 +1,216 @@
+// Package parallel is the deterministic fan-out layer used by every hot
+// loop in the repo: rainbow-table chain generation, contention-set
+// sweeps, the measurement campaign, and batched solver checks.
+//
+// The design invariant — the repo-wide determinism rule (DESIGN.md
+// decision 6) — is that the worker count only changes *scheduling*, never
+// *output*. Three mechanisms enforce it:
+//
+//   - work is partitioned by item index, not by worker: fn(i) must depend
+//     only on i (plus immutable shared inputs), and results land in slot i
+//     of a preallocated slice, so the merge order is the index order no
+//     matter which worker ran which item;
+//   - randomness inside an item derives from the parent seed and the item
+//     index (ShardSeed, or stats.RNG.Skip for splitmix streams that must
+//     match a sequential draw order bit-for-bit);
+//   - error and early-exit selection is by lowest index (MapErr, First),
+//     which is exactly what a sequential loop would have produced.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count knob: n if positive, else GOMAXPROCS.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(i) for every i in [0, n) on up to w workers (resolved
+// via Workers). fn must be safe to call concurrently and must depend only
+// on its index. ForEach returns after every call has completed.
+func ForEach(w, n int, fn func(i int)) {
+	w = Workers(w)
+	if n <= 0 {
+		return
+	}
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Shards partitions [0, n) into at most w near-equal contiguous ranges
+// and runs fn(shard, lo, hi) for each range on its own worker. Use it
+// when workers need private mutable state (a forked prober, a scratch
+// buffer): the shard index selects the state, and because the partition
+// depends only on (w, n), a given (w, n) always maps the same items to
+// the same shard. Output determinism across *different* w still requires
+// fn's per-item work to be order-independent, as with ForEach.
+func Shards(w, n int, fn func(shard, lo, hi int)) {
+	w = Workers(w)
+	if n <= 0 {
+		return
+	}
+	if w > n {
+		w = n
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for s := 0; s < w; s++ {
+		lo := s * n / w
+		hi := (s + 1) * n / w
+		go func(shard, lo, hi int) {
+			defer wg.Done()
+			fn(shard, lo, hi)
+		}(s, lo, hi)
+	}
+	wg.Wait()
+}
+
+// Map computes out[i] = fn(i) for i in [0, n) on up to w workers,
+// returning results in index order.
+func Map[T any](w, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(w, n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// MapErr is Map for fallible work. All items run to completion; if any
+// failed, the error of the lowest failing index is returned (what a
+// sequential loop would have surfaced first), along with the full result
+// slice so callers that tolerate partial failure can inspect it.
+func MapErr[T any](w, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	ForEach(w, n, func(i int) { out[i], errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// First returns the lowest i in [0, n) for which fn(i) is true, or -1.
+// Items are evaluated in batches of w workers with early exit after the
+// first batch containing a hit, so fn may be called for a few indices
+// past the answer (but never for a later batch). fn must be pure in i:
+// under that contract the result is identical at every worker count, and
+// w=1 degenerates to a plain sequential loop with early exit.
+func First(w, n int, fn func(i int) bool) int {
+	w = Workers(w)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if fn(i) {
+				return i
+			}
+		}
+		return -1
+	}
+	hits := make([]bool, n)
+	for lo := 0; lo < n; lo += w {
+		hi := lo + w
+		if hi > n {
+			hi = n
+		}
+		ForEach(w, hi-lo, func(k int) { hits[lo+k] = fn(lo + k) })
+		for i := lo; i < hi; i++ {
+			if hits[i] {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// ShardSeed derives an independent per-shard seed from a parent seed.
+// Distinct shards yield well-separated splitmix64 streams; the derivation
+// is a pure function of (parent, shard), so it is identical at any worker
+// count. Use stats.RNG.Skip instead when a shard must continue the
+// parent's own sequential draw order bit-for-bit.
+func ShardSeed(parent uint64, shard int) uint64 {
+	z := parent + 0x9e3779b97f4a7c15*(uint64(shard)+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Group is a keyed, memoizing single-flight: the first Do for a key runs
+// fn while concurrent callers for the same key wait; the (value, error)
+// outcome is cached forever after. It replaces "lock a mutex around a
+// result map" caching in the campaign, where holding a lock across an
+// expensive compute would serialize everything, and plain double-checked
+// caching would compute the same key twice.
+type Group[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*flight[V]
+}
+
+type flight[V any] struct {
+	done chan struct{}
+	v    V
+	err  error
+}
+
+// Do returns the cached outcome for key, computing it with fn exactly
+// once across all concurrent and future callers.
+func (g *Group[K, V]) Do(key K, fn func() (V, error)) (V, error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = map[K]*flight[V]{}
+	}
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		<-f.done
+		return f.v, f.err
+	}
+	f := &flight[V]{done: make(chan struct{})}
+	g.m[key] = f
+	g.mu.Unlock()
+	f.v, f.err = fn()
+	close(f.done)
+	return f.v, f.err
+}
+
+// Cached reports whether key has a completed outcome, without blocking.
+func (g *Group[K, V]) Cached(key K) bool {
+	g.mu.Lock()
+	f, ok := g.m[key]
+	g.mu.Unlock()
+	if !ok {
+		return false
+	}
+	select {
+	case <-f.done:
+		return true
+	default:
+		return false
+	}
+}

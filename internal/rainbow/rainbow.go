@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"castan/internal/nfhash"
+	"castan/internal/parallel"
 	"castan/internal/stats"
 )
 
@@ -38,6 +39,10 @@ type Config struct {
 	ChainLen int
 	// Seed drives start-seed generation.
 	Seed uint64
+	// Workers bounds the chain-generation fan-out (0 = GOMAXPROCS). The
+	// built table is bit-for-bit identical at every worker count: chain c
+	// always walks from the c-th draw of the seed's splitmix64 stream.
+	Workers int
 }
 
 // DefaultConfig covers a bits-wide space about 4×.
@@ -66,14 +71,24 @@ func Build(hash func([]byte) uint64, space nfhash.KeySpace, cfg Config) (*Table,
 		chainLen: cfg.ChainLen,
 		ends:     make(map[uint64][]uint64, cfg.Chains),
 	}
-	rng := stats.NewRNG(cfg.Seed)
-	for c := 0; c < cfg.Chains; c++ {
+	// Chains are independent given their start seed, and chain c's start
+	// is the c-th draw of the seed's splitmix64 stream — reachable in O(1)
+	// with Skip — so chain walks fan out across workers while the merged
+	// table stays identical to a sequential build (ends map contents match
+	// because slot order, not completion order, drives the merge).
+	type chain struct{ start, end uint64 }
+	walked := parallel.Map(cfg.Workers, cfg.Chains, func(c int) chain {
+		rng := stats.NewRNG(cfg.Seed)
+		rng.Skip(uint64(c))
 		start := rng.Uint64()
 		h := t.step(start, 0)
 		for pos := 1; pos < t.chainLen; pos++ {
 			h = t.step(t.reduce(h, pos-1), pos)
 		}
-		t.ends[h] = append(t.ends[h], start)
+		return chain{start: start, end: h}
+	})
+	for _, c := range walked {
+		t.ends[c.end] = append(t.ends[c.end], c.start)
 		t.nchains++
 	}
 	return t, nil

@@ -120,3 +120,39 @@ func TestTailoringMatters(t *testing.T) {
 		}
 	}
 }
+
+// TestBuildWorkerCountInvariant asserts the determinism contract of the
+// parallel build: any worker count produces the same table (same chain
+// count, same end-hash buckets with the same start seeds in the same
+// order) as the sequential one.
+func TestBuildWorkerCountInvariant(t *testing.T) {
+	space := nfhash.UDPFlowSpace{SrcNet: 0x0a00, DstIP: 0xc0a80101, DstPort: 80}
+	cfg := DefaultConfig(12)
+	cfg.Workers = 1
+	ref, err := Build(nfhash.TableHash, space, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4, 8} {
+		cfg.Workers = w
+		tbl, err := Build(nfhash.TableHash, space, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tbl.nchains != ref.nchains || len(tbl.ends) != len(ref.ends) {
+			t.Fatalf("w=%d: %d chains / %d ends, want %d / %d",
+				w, tbl.nchains, len(tbl.ends), ref.nchains, len(ref.ends))
+		}
+		for end, starts := range ref.ends {
+			got := tbl.ends[end]
+			if len(got) != len(starts) {
+				t.Fatalf("w=%d: end %x has %d starts, want %d", w, end, len(got), len(starts))
+			}
+			for i := range starts {
+				if got[i] != starts[i] {
+					t.Fatalf("w=%d: end %x start[%d] = %x, want %x", w, end, i, got[i], starts[i])
+				}
+			}
+		}
+	}
+}

@@ -82,7 +82,7 @@ func TestMaskedEquality(t *testing.T) {
 func TestUnsatRange(t *testing.T) {
 	var s Solver
 	// A 16-bit word can never exceed 65535.
-	cons := []*expr.Expr{expr.Ult(expr.Const(1 << 20), word(1, 2))}
+	cons := []*expr.Expr{expr.Ult(expr.Const(1<<20), word(1, 2))}
 	if r, _ := s.Check(cons); r != Unsat {
 		t.Errorf("result = %v, want unsat", r)
 	}
@@ -209,7 +209,7 @@ func TestQuickFeasible(t *testing.T) {
 	if QuickFeasible([]*expr.Expr{expr.Const(0)}) != Unsat {
 		t.Error("constant false not refuted")
 	}
-	if QuickFeasible([]*expr.Expr{expr.Ult(expr.Const(1 << 20), word(1, 2))}) != Unsat {
+	if QuickFeasible([]*expr.Expr{expr.Ult(expr.Const(1<<20), word(1, 2))}) != Unsat {
 		t.Error("range-impossible not refuted")
 	}
 	if QuickFeasible([]*expr.Expr{expr.Eq(expr.Var(1), expr.Const(3))}) != Unknown {

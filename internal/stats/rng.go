@@ -50,3 +50,15 @@ func (r *RNG) Shuffle(n int, swap func(i, j int)) {
 // Split derives an independent generator; derivations from distinct calls
 // on the same parent are themselves distinct streams.
 func (r *RNG) Split() *RNG { return NewRNG(r.Uint64()) }
+
+// Clone returns a copy that will produce the same stream as r from this
+// point on. Used to fork deterministic simulations (e.g. memory-hierarchy
+// probers) for parallel workers.
+func (r *RNG) Clone() *RNG { c := *r; return &c }
+
+// Skip advances the generator past the next n draws in O(1). splitmix64's
+// state moves by a fixed increment per draw, so the shard of a sequential
+// stream starting at draw n is NewRNG(seed).Skip(n) — the property the
+// parallel fan-out layer uses to give each shard the exact values a
+// sequential loop would have drawn.
+func (r *RNG) Skip(n uint64) { r.state += n * 0x9e3779b97f4a7c15 }

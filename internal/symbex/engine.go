@@ -730,7 +730,7 @@ func (e *Engine) resolveAddr(s *State, a *expr.Expr) (uint64, bool) {
 					continue
 				}
 				tried++
-				inLine := expr.Eq(expr.And(a, expr.Const(^(lb - 1))), expr.Const(line))
+				inLine := expr.Eq(expr.And(a, expr.Const(^(lb-1))), expr.Const(line))
 				m, ok := e.extendModel(s, inLine)
 				if !ok {
 					continue

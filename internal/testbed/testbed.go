@@ -170,7 +170,7 @@ func maxThroughput(serviceNS []float64, queueDepth int) float64 {
 		arrivals = 20000
 	}
 	lossAt := func(mpps float64) float64 {
-		interval := 1000.0 / mpps // ns between arrivals
+		interval := 1000.0 / mpps                    // ns between arrivals
 		inSystem := make([]float64, 0, queueDepth+1) // finish times, FIFO
 		var lastFinish float64
 		drops := 0

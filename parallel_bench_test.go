@@ -1,0 +1,46 @@
+package repro
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"castan/internal/nfhash"
+	"castan/internal/rainbow"
+)
+
+// BenchmarkParallelSpeedup measures the deterministic fan-out layer on
+// the rainbow chain-generation hot loop: the same table is built at W=1
+// and W=GOMAXPROCS and the wall-clock ratio is reported as speedup_x.
+// On a 4-core runner the expected value is ≥2; on a single-core machine
+// it degenerates to ~1 (the layer adds no fan-out below two workers).
+// Determinism across worker counts is asserted separately by
+// TestWorkerCountDeterminism and the per-package invariant tests.
+func BenchmarkParallelSpeedup(b *testing.B) {
+	space := nfhash.UDPFlowSpace{SrcNet: 0x0a00, DstIP: 0xc0a80101, DstPort: 80}
+	cfg := rainbow.DefaultConfig(20)
+	if testing.Short() {
+		cfg = rainbow.DefaultConfig(16)
+	}
+	build := func(w int) time.Duration {
+		c := cfg
+		c.Workers = w
+		start := time.Now()
+		if _, err := rainbow.Build(nfhash.TableHash, space, c); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	par := runtime.GOMAXPROCS(0)
+	var seqTotal, parTotal time.Duration
+	for i := 0; i < b.N; i++ {
+		seqTotal += build(1)
+		parTotal += build(par)
+	}
+	b.ReportMetric(float64(par), "workers")
+	b.ReportMetric(seqTotal.Seconds()/float64(b.N), "seq_s")
+	b.ReportMetric(parTotal.Seconds()/float64(b.N), "par_s")
+	if parTotal > 0 {
+		b.ReportMetric(float64(seqTotal)/float64(parTotal), "speedup_x")
+	}
+}
