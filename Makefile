@@ -3,7 +3,10 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke fmt fmt-fix vet check
+.PHONY: all build test race bench bench-smoke fmt fmt-fix vet lint irlint print-staticcheck-version check
+
+# Pinned staticcheck release; CI installs exactly this version.
+STATICCHECK_VERSION = 2025.1.1
 
 all: check
 
@@ -37,4 +40,21 @@ fmt-fix:
 vet:
 	$(GO) vet ./...
 
-check: fmt vet build test
+# staticcheck is optional locally (skipped when not installed); CI pins
+# STATICCHECK_VERSION and fails on findings.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs $(STATICCHECK_VERSION))"; \
+	fi
+
+# The IR static-analysis gate: every built-in NF module must lint clean.
+irlint:
+	$(GO) run ./cmd/irlint
+
+# Used by CI to install the exact pinned staticcheck.
+print-staticcheck-version:
+	@echo $(STATICCHECK_VERSION)
+
+check: fmt vet lint build test irlint

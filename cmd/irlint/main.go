@@ -1,0 +1,74 @@
+// irlint runs the full static-analysis pass pipeline (structural
+// validation, def-before-use, register liveness, memory-region extent
+// checks) over IR modules and reports structured findings. It is the CI
+// gate that keeps every built-in NF — and therefore every module the
+// examples run — clean before symbolic execution ever sees it.
+//
+//	irlint             # lint every NF in the built-in catalog
+//	irlint lpm-trie    # lint selected NFs
+//	irlint -v          # also print info-level findings (dead defs)
+//	irlint -werror     # treat warnings as failures
+//
+// Exit status is non-zero iff any module produced an error-level finding
+// (or, with -werror, a warning).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"castan/internal/analysis"
+	"castan/internal/ir"
+	"castan/internal/nf"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print info-level findings too")
+	werror := flag.Bool("werror", false, "treat warnings as errors")
+	flag.Parse()
+
+	names := flag.Args()
+	if len(names) == 0 {
+		names = nf.Names
+	}
+	var mods []*ir.Module
+	for _, name := range names {
+		inst, err := nf.New(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "irlint: %v\n", err)
+			os.Exit(1)
+		}
+		mods = append(mods, inst.Mod)
+	}
+	os.Exit(run(mods, *verbose, *werror, os.Stdout))
+}
+
+// run lints each module in turn and returns the process exit code: 1 if
+// any module has an error-level finding (or a warning under werror),
+// 0 otherwise.
+func run(mods []*ir.Module, verbose, werror bool, w io.Writer) int {
+	minSev := analysis.SevWarn
+	if verbose {
+		minSev = analysis.SevInfo
+	}
+	failed := false
+	for _, mod := range mods {
+		rep := analysis.Lint(mod, analysis.Options{
+			EntryHints: analysis.NFEntryHints(),
+			NoDeadDefs: !verbose,
+		})
+		if err := rep.Write(w, minSev); err != nil {
+			fmt.Fprintf(os.Stderr, "irlint: %v\n", err)
+			return 2
+		}
+		if rep.HasErrors() || (werror && rep.Count(analysis.SevWarn) > 0) {
+			failed = true
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}

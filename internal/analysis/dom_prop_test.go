@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"fmt"
+	"testing"
+
+	"castan/internal/ir"
+	"castan/internal/stats"
+)
+
+// randomCFG builds a function with n blocks and arbitrary (possibly
+// irreducible, possibly partially unreachable) control flow: each block
+// ends in ret, br, or condbr to random targets. The instruction stream is
+// otherwise trivial — the property under test is purely graph-shaped.
+func randomCFG(rng *stats.RNG, n int) *ir.Func {
+	f := &ir.Func{Name: "rand", NumParams: 0, NumRegs: 1}
+	for i := 0; i < n; i++ {
+		f.Blocks = append(f.Blocks, &ir.Block{
+			Name:  fmt.Sprintf("b%d", i),
+			Index: i,
+			Fn:    f,
+		})
+	}
+	for _, b := range f.Blocks {
+		switch rng.Intn(4) {
+		case 0:
+			b.Instrs = append(b.Instrs,
+				&ir.Instr{Op: ir.OpConst, Dst: 0},
+				&ir.Instr{Op: ir.OpRet, A: 0})
+		case 1:
+			b.Instrs = append(b.Instrs,
+				&ir.Instr{Op: ir.OpBr, Blk0: f.Blocks[rng.Intn(n)]})
+		default:
+			b.Instrs = append(b.Instrs,
+				&ir.Instr{Op: ir.OpConst, Dst: 0},
+				&ir.Instr{Op: ir.OpCondBr, A: 0,
+					Blk0: f.Blocks[rng.Intn(n)],
+					Blk1: f.Blocks[rng.Intn(n)]})
+		}
+	}
+	return f
+}
+
+// reachableWithout floods the CFG from the entry, treating `removed` as
+// absent, and returns the visited set. This is the textbook definition of
+// dominance: a dominates b iff removing a makes b unreachable.
+func reachableWithout(f *ir.Func, removed *ir.Block) []bool {
+	seen := make([]bool, len(f.Blocks))
+	if f.Entry() == removed {
+		return seen
+	}
+	stack := []*ir.Block{f.Entry()}
+	seen[f.Entry().Index] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs() {
+			if s == removed || seen[s.Index] {
+				continue
+			}
+			seen[s.Index] = true
+			stack = append(stack, s)
+		}
+	}
+	return seen
+}
+
+// TestDominatorsAgainstRemovalOracle cross-checks the CHK dominator tree
+// against the brute-force oracle on randomly generated CFGs: for every
+// pair (a, b) of reachable blocks, a dominates b exactly when removing a
+// cuts b off from the entry.
+func TestDominatorsAgainstRemovalOracle(t *testing.T) {
+	rng := stats.NewRNG(0xD0517A70)
+	trials := 200
+	if testing.Short() {
+		trials = 40
+	}
+	for trial := 0; trial < trials; trial++ {
+		n := 2 + rng.Intn(14)
+		f := randomCFG(rng, n)
+		fa := ForFunc(f)
+
+		baseline := reachableWithout(f, nil)
+		for ai, a := range f.Blocks {
+			if !baseline[ai] {
+				// Unreachable blocks dominate nothing reachable.
+				for _, b := range f.Blocks {
+					if fa.Dominates(a, b) {
+						t.Fatalf("trial %d: unreachable %s reported to dominate %s", trial, a.Name, b.Name)
+					}
+				}
+				continue
+			}
+			seen := reachableWithout(f, a)
+			for bi, b := range f.Blocks {
+				if !baseline[bi] {
+					if fa.Dominates(a, b) {
+						t.Fatalf("trial %d: %s reported to dominate unreachable %s", trial, a.Name, b.Name)
+					}
+					continue
+				}
+				want := a == b || !seen[bi]
+				got := fa.Dominates(a, b)
+				if got != want {
+					t.Fatalf("trial %d (n=%d): Dominates(%s, %s) = %v, oracle says %v\n%s",
+						trial, n, a.Name, b.Name, got, want, f.Disassemble())
+				}
+			}
+		}
+
+		// The loop forest must agree with the dominator tree: every header
+		// dominates every block of its loop.
+		for _, l := range fa.Loops.Loops {
+			for _, b := range l.Blocks {
+				if !fa.Dominates(l.Header, b) {
+					t.Fatalf("trial %d: loop header %s does not dominate member %s", trial, l.Header.Name, b.Name)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,346 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+
+	"castan/internal/ir"
+)
+
+// Loop is one natural loop: a back edge tail→header where the header
+// dominates the tail, plus every block that can reach the tail without
+// passing through the header. Loops sharing a header are merged, as
+// usual.
+type Loop struct {
+	Header *ir.Block
+	// Blocks is the loop body including the header, by ascending index.
+	Blocks []*ir.Block
+	// Parent is the innermost enclosing loop, nil for top-level loops.
+	Parent *Loop
+	// Children are the directly nested loops, by header index.
+	Children []*Loop
+	// Depth is the nesting depth: 1 for top-level loops.
+	Depth int
+	// TripBound is the statically derived maximum trip count, when the
+	// loop matches the canonical counted pattern (const-initialized
+	// counter, const step, const limit in the header comparison);
+	// 0 means unknown/unbounded.
+	TripBound uint64
+
+	inLoop []bool // indexed by block index
+}
+
+// Contains reports whether b belongs to the loop body.
+func (l *Loop) Contains(b *ir.Block) bool {
+	return b.Index < len(l.inLoop) && l.inLoop[b.Index]
+}
+
+// LoopForest is every natural loop of a function, innermost-first
+// queryable via Innermost/Depth.
+type LoopForest struct {
+	// Loops lists all loops by ascending header index (so outer loops
+	// with earlier headers come first; nesting is explicit via Parent).
+	Loops []*Loop
+
+	nblocks   int
+	innermost []*Loop // per block index
+}
+
+// IsHeader reports whether b heads a natural loop.
+func (lf *LoopForest) IsHeader(b *ir.Block) bool {
+	for _, l := range lf.Loops {
+		if l.Header == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Innermost returns the innermost loop containing b, or nil.
+func (lf *LoopForest) Innermost(b *ir.Block) *Loop {
+	if b.Index >= len(lf.innermost) {
+		return nil
+	}
+	return lf.innermost[b.Index]
+}
+
+// Depth returns the loop nesting depth of b (0 = not in any loop).
+func (lf *LoopForest) Depth(b *ir.Block) int {
+	if l := lf.Innermost(b); l != nil {
+		return l.Depth
+	}
+	return 0
+}
+
+// Headers returns the loop headers by ascending block index.
+func (lf *LoopForest) Headers() []*ir.Block {
+	heads := make([]*ir.Block, 0, len(lf.Loops))
+	for _, l := range lf.Loops {
+		heads = append(heads, l.Header)
+	}
+	return heads
+}
+
+// buildLoops detects natural loops from back edges (tail→header with
+// header dominating tail) and assembles the nesting forest. Retreating
+// edges of irreducible regions (whose target does not dominate the
+// source) do not form natural loops and are ignored here; the icfg
+// consumer treats them identically to the old DFS marking because the
+// builder only ever emits reducible control flow.
+func (fa *Facts) buildLoops() {
+	f := fa.Fn
+	n := len(f.Blocks)
+	lf := &LoopForest{nblocks: n, innermost: make([]*Loop, n)}
+	fa.Loops = lf
+
+	// Collect back-edge tails per header, in deterministic order.
+	tails := make([][]*ir.Block, n)
+	var headers []*ir.Block
+	for _, b := range f.Blocks {
+		if !fa.Reachable(b) {
+			continue
+		}
+		for _, s := range b.Succs() {
+			if fa.Dominates(s, b) {
+				if tails[s.Index] == nil {
+					headers = append(headers, s)
+				}
+				tails[s.Index] = append(tails[s.Index], b)
+			}
+		}
+	}
+	sort.Slice(headers, func(i, j int) bool { return headers[i].Index < headers[j].Index })
+
+	for _, h := range headers {
+		l := &Loop{Header: h, inLoop: make([]bool, n)}
+		l.inLoop[h.Index] = true
+		// Body = header + all blocks reaching a tail without crossing the
+		// header (classic worklist over predecessors).
+		var work []*ir.Block
+		for _, t := range tails[h.Index] {
+			if !l.inLoop[t.Index] {
+				l.inLoop[t.Index] = true
+				work = append(work, t)
+			}
+		}
+		for len(work) > 0 {
+			b := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, p := range fa.Preds[b.Index] {
+				if fa.Reachable(p) && !l.inLoop[p.Index] {
+					l.inLoop[p.Index] = true
+					work = append(work, p)
+				}
+			}
+		}
+		for _, b := range f.Blocks {
+			if l.inLoop[b.Index] {
+				l.Blocks = append(l.Blocks, b)
+			}
+		}
+		lf.Loops = append(lf.Loops, l)
+	}
+
+	// Nesting: loop A is inside loop B iff B contains A's header (headers
+	// are distinct after merging). Parent = smallest containing loop.
+	for _, l := range lf.Loops {
+		for _, outer := range lf.Loops {
+			if outer == l || !outer.Contains(l.Header) {
+				continue
+			}
+			if l.Parent == nil || len(outer.Blocks) < len(l.Parent.Blocks) {
+				l.Parent = outer
+			}
+		}
+	}
+	for _, l := range lf.Loops {
+		if l.Parent != nil {
+			l.Parent.Children = append(l.Parent.Children, l)
+		}
+	}
+	var setDepth func(l *Loop, d int)
+	setDepth = func(l *Loop, d int) {
+		l.Depth = d
+		for _, c := range l.Children {
+			setDepth(c, d+1)
+		}
+	}
+	for _, l := range lf.Loops {
+		if l.Parent == nil {
+			setDepth(l, 1)
+		}
+	}
+	// Innermost membership: deeper loops overwrite shallower ones.
+	byDepth := append([]*Loop(nil), lf.Loops...)
+	sort.Slice(byDepth, func(i, j int) bool {
+		if byDepth[i].Depth != byDepth[j].Depth {
+			return byDepth[i].Depth < byDepth[j].Depth
+		}
+		return byDepth[i].Header.Index < byDepth[j].Header.Index
+	})
+	for _, l := range byDepth {
+		for _, b := range l.Blocks {
+			lf.innermost[b.Index] = l
+		}
+	}
+	for _, l := range lf.Loops {
+		l.TripBound = fa.tripBound(l)
+	}
+}
+
+// tripBound derives a static trip-count bound for the canonical counted
+// loop the builder's While emits:
+//
+//	header:  ... ; c = cmp <ult|ule|ne> i, limit ; condbr c, body, exit
+//
+// where limit's only definition in the function is a constant, and i is a
+// counter register with exactly one definition outside the loop (a
+// constant init) and one inside (i = i + step, step constant, via the
+// builder's mov-from-add idiom or a direct add). Returns 0 when the
+// pattern does not apply.
+func (fa *Facts) tripBound(l *Loop) uint64 {
+	h := l.Header
+	t := h.Terminator()
+	if t == nil || t.Op != ir.OpCondBr {
+		return 0
+	}
+	// The comparison must be defined in the header, on the condition reg.
+	var cmp *ir.Instr
+	for _, in := range h.Instrs {
+		if in.Def() == t.A {
+			cmp = in
+		}
+	}
+	if cmp == nil || cmp.Op != ir.OpCmp {
+		return 0
+	}
+	// The taken-on-true edge must stay in the loop and the false edge
+	// leave it (the While shape); predicates are normalized accordingly.
+	if !l.Contains(t.Blk0) || l.Contains(t.Blk1) {
+		return 0
+	}
+	counter, limitReg := cmp.A, cmp.B
+	limit, ok := fa.uniqueConst(limitReg)
+	if !ok {
+		return 0
+	}
+	init, step, ok := fa.counterShape(l, counter)
+	if !ok || step == 0 {
+		return 0
+	}
+	switch cmp.Pred {
+	case ir.Ult:
+		if init >= limit {
+			return 0
+		}
+		return ceilDiv(limit-init, step)
+	case ir.Ule:
+		if init > limit {
+			return 0
+		}
+		return ceilDiv(limit-init+1, step)
+	case ir.Ne:
+		if init >= limit || (limit-init)%step != 0 {
+			return 0 // may wrap around; no static bound
+		}
+		return (limit - init) / step
+	}
+	return 0
+}
+
+func ceilDiv(a, b uint64) uint64 {
+	if a > math.MaxUint64-(b-1) {
+		return a / b
+	}
+	return (a + b - 1) / b
+}
+
+// uniqueConst reports the value of r when its only definition in the
+// function is an OpConst (and r is not a parameter, which is an implicit
+// definition).
+func (fa *Facts) uniqueConst(r ir.Reg) (uint64, bool) {
+	if int(r) < fa.Fn.NumParams {
+		return 0, false
+	}
+	var def *ir.Instr
+	for _, b := range fa.Fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Def() == r {
+				if def != nil {
+					return 0, false
+				}
+				def = in
+			}
+		}
+	}
+	if def == nil || def.Op != ir.OpConst {
+		return 0, false
+	}
+	return def.Imm, true
+}
+
+// counterShape matches the counter register of a counted loop: exactly
+// one const definition outside the loop (the init) and one definition
+// inside, which must add a unique-const step to the counter — either
+// directly (i = add i, s) or through the builder's Var idiom
+// (tmp = add i, s; mov i, tmp).
+func (fa *Facts) counterShape(l *Loop, r ir.Reg) (init, step uint64, ok bool) {
+	if int(r) < fa.Fn.NumParams {
+		return 0, 0, false
+	}
+	var outside, inside *ir.Instr
+	for _, b := range fa.Fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Def() != r {
+				continue
+			}
+			if l.Contains(b) {
+				if inside != nil {
+					return 0, 0, false
+				}
+				inside = in
+			} else {
+				if outside != nil {
+					return 0, 0, false
+				}
+				outside = in
+			}
+		}
+	}
+	if outside == nil || inside == nil || outside.Op != ir.OpConst {
+		return 0, 0, false
+	}
+	init = outside.Imm
+	add := inside
+	if add.Op == ir.OpMov {
+		// Follow the Var idiom: the moved-from register must have a unique
+		// definition, an add.
+		src := add.A
+		var def *ir.Instr
+		for _, b := range fa.Fn.Blocks {
+			for _, in := range b.Instrs {
+				if in.Def() == src {
+					if def != nil {
+						return 0, 0, false
+					}
+					def = in
+				}
+			}
+		}
+		add = def
+	}
+	if add == nil || add.Op != ir.OpBin || add.Bin != ir.Add {
+		return 0, 0, false
+	}
+	var stepReg ir.Reg
+	switch {
+	case add.A == r:
+		stepReg = add.B
+	case add.B == r:
+		stepReg = add.A
+	default:
+		return 0, 0, false
+	}
+	step, ok = fa.uniqueConst(stepReg)
+	return init, step, ok
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"time"
 
+	"castan/internal/analysis"
 	"castan/internal/cachemodel"
 	"castan/internal/expr"
 	"castan/internal/icfg"
@@ -120,6 +121,12 @@ type Output struct {
 	// HavocsTotal and HavocsReconciled report §3.5's outcome.
 	HavocsTotal      int
 	HavocsReconciled int
+	// LintWarnings counts static-analysis warnings on the NF module (the
+	// gate rejects modules with errors before exploration starts).
+	LintWarnings int
+	// StaticHavocSites counts the OpHavoc sites found statically; the
+	// rainbow builder only spends effort on hash IDs that appear here.
+	StaticHavocSites int
 	// ContentionSetsFound is the discovery result size (0 = no model).
 	ContentionSetsFound int
 	// StatesExplored and AnalysisTime describe the effort (Table 4).
@@ -133,14 +140,42 @@ func Analyze(inst *nf.Instance, hier *memsim.Hierarchy, cfg Config) (*Output, er
 	cfg.fill()
 	start := time.Now()
 
-	// Stage 1: empirical cache model over the NF's attack regions.
+	// Stage 0: static gate. A module that fails the pass pipeline (broken
+	// structure, use-before-def, definite out-of-extent access) would make
+	// symbolic exploration explore garbage; reject it up front. The same
+	// run yields the facts the later stages reuse: the memory-region
+	// footprints seed contention-set candidates when the NF declares no
+	// attack regions, and the static havoc sites bound rainbow-table work.
+	rep := analysis.Lint(inst.Mod, analysis.Options{
+		EntryHints: analysis.NFEntryHints(),
+		NoDeadDefs: true,
+	})
+	if rep.HasErrors() {
+		return nil, fmt.Errorf("castan: static analysis rejects %s: %s",
+			inst.Mod.Name, rep.Findings[0].String())
+	}
+	mf := analysis.ForModule(inst.Mod)
+	mr := analysis.RunMemRegions(mf, analysis.NFEntryHints())
+	staticSites := mf.HavocSites()
+	staticHashIDs := map[int]bool{}
+	for _, s := range staticSites {
+		staticHashIDs[s.HashID] = true
+	}
+
+	// Stage 1: empirical cache model over the NF's attack regions; when
+	// the NF declares none, fall back to the statically derived table
+	// footprints (globals large enough to exceed a cache way).
+	regions := inst.AttackRegions
+	if len(regions) == 0 {
+		regions = staticAttackRegions(mr)
+	}
 	var model *cachemodel.Model
 	switch {
 	case cfg.NoCacheModel:
 	case cfg.CacheModel != nil:
 		model = cfg.CacheModel
-	case len(inst.AttackRegions) > 0:
-		model = discoverModel(inst, hier, cfg)
+	case len(regions) > 0:
+		model = discoverModel(regions, hier, cfg)
 	}
 
 	// Stage 2: directed symbolic execution. Realized costs use the
@@ -186,13 +221,15 @@ func Analyze(inst *nf.Instance, hier *memsim.Hierarchy, cfg Config) (*Output, er
 	// completed state if the best one resists solving.
 	var lastErr error
 	for _, st := range res.Completed {
-		out, err := concretize(inst, eng, st, cfg)
+		out, err := concretize(inst, eng, st, cfg, staticHashIDs)
 		if err != nil {
 			lastErr = err
 			continue
 		}
 		out.ContentionSetsFound = modelSets(model)
 		out.StatesExplored = res.StatesExplored
+		out.LintWarnings = rep.Count(analysis.SevWarn)
+		out.StaticHavocSites = len(staticSites)
 		out.AnalysisTime = time.Since(start)
 		return out, nil
 	}
@@ -206,15 +243,36 @@ func modelSets(m *cachemodel.Model) int {
 	return len(m.Sets)
 }
 
-// discoverModel builds the contention-set model over the instance's
-// attack regions. Discovery failure (e.g. a region too small to exceed
+// staticAttackRegions derives contention-set candidates from the
+// memory-region pass when an NF declares none: every global whose
+// statically accessed footprint spans at least a cache way's worth of
+// lines is a table an adversary could contend on. Footprints are sorted
+// by global name, so the derived pool is deterministic.
+func staticAttackRegions(mr *analysis.MemRegions) []nf.Region {
+	const minSpan = 4096
+	var regions []nf.Region
+	for _, fp := range mr.GlobalFootprints() {
+		if fp.Span() < minSpan {
+			continue
+		}
+		regions = append(regions, nf.Region{
+			Name: fp.Global.Name,
+			Addr: fp.Global.Addr + fp.Lo,
+			Size: fp.Span(),
+		})
+	}
+	return regions
+}
+
+// discoverModel builds the contention-set model over the given attack
+// regions. Discovery failure (e.g. a region too small to exceed
 // associativity anywhere in the sampled pool) simply yields no model —
 // the paper's LPM two-stage outcome.
-func discoverModel(inst *nf.Instance, hier *memsim.Hierarchy, cfg Config) *cachemodel.Model {
+func discoverModel(regions []nf.Region, hier *memsim.Hierarchy, cfg Config) *cachemodel.Model {
 	geo := hier.Geometry()
 	stride := uint64(cfg.DiscoverStride * geo.LineBytes)
 	var pool []uint64
-	for _, r := range inst.AttackRegions {
+	for _, r := range regions {
 		for a := r.Addr; a < r.Addr+r.Size; a += stride {
 			pool = append(pool, a)
 		}
@@ -225,7 +283,7 @@ func discoverModel(inst *nf.Instance, hier *memsim.Hierarchy, cfg Config) *cache
 	// The pool budget is per region: an NF with several tables (the NAT's
 	// two rings) needs each discovered set to hold enough members *within
 	// each table* to exceed associativity there.
-	poolCap := cfg.DiscoverPoolCap * len(inst.AttackRegions)
+	poolCap := cfg.DiscoverPoolCap * len(regions)
 	if len(pool) > poolCap {
 		// Deterministic subsample.
 		rng := stats.NewRNG(cfg.Seed + 17)
@@ -251,7 +309,7 @@ func discoverModel(inst *nf.Instance, hier *memsim.Hierarchy, cfg Config) *cache
 
 // concretize reconciles the state's havocs and solves its constraints
 // into frames.
-func concretize(inst *nf.Instance, eng *symbex.Engine, st *symbex.State, cfg Config) (*Output, error) {
+func concretize(inst *nf.Instance, eng *symbex.Engine, st *symbex.State, cfg Config, staticHashIDs map[int]bool) (*Output, error) {
 	// The engine maintains the invariant that each state's cached model
 	// satisfies its constraints, so it is both the starting model and the
 	// hint for all reconciliation checks.
@@ -265,7 +323,7 @@ func concretize(inst *nf.Instance, eng *symbex.Engine, st *symbex.State, cfg Con
 
 	reconciled := 0
 	if !cfg.NoRainbow {
-		tables := buildRainbowTables(inst, cfg)
+		tables := buildRainbowTables(inst, cfg, staticHashIDs)
 		uses := map[int]nf.HashUse{}
 		for _, hu := range inst.Hashes {
 			uses[hu.HashID] = hu
@@ -325,10 +383,17 @@ func concretize(inst *nf.Instance, eng *symbex.Engine, st *symbex.State, cfg Con
 // build each table exactly once instead of racing on a bare map.
 var rainbowCache parallel.Group[string, *rainbow.Table]
 
-func buildRainbowTables(inst *nf.Instance, cfg Config) map[int]*rainbow.Table {
+func buildRainbowTables(inst *nf.Instance, cfg Config, staticHashIDs map[int]bool) map[int]*rainbow.Table {
 	out := map[int]*rainbow.Table{}
 	for _, h := range inst.Hashes {
 		if h.Space == nil {
+			continue
+		}
+		// Only spend table-building effort on hash IDs that actually appear
+		// as OpHavoc sites in the IR: every dynamic havoc record is an
+		// execution of one of those sites, so the filter can never starve
+		// reconciliation.
+		if !staticHashIDs[h.HashID] {
 			continue
 		}
 		key := fmt.Sprintf("%s/%d/%d/%T%v", inst.Name, h.HashID, h.Bits, h.Space, h.Space)

@@ -16,6 +16,7 @@ package icfg
 import (
 	"fmt"
 
+	"castan/internal/analysis"
 	"castan/internal/ir"
 )
 
@@ -96,6 +97,7 @@ type funcInfo struct {
 	potential map[*ir.Block]uint64 // max cost from block start → return
 	loopHead  map[*ir.Block]bool
 	suffix    map[*ir.Block][]uint64 // suffix[i] = cost of instrs i..end
+	facts     *analysis.Facts
 }
 
 // Analyze builds the annotated ICFG. M must be at least 1; the module must
@@ -155,34 +157,18 @@ func (a *Analysis) analyzeFunc(f *ir.Func) *funcInfo {
 		fi.blockCost[b] = total
 		fi.suffix[b] = suf
 	}
-	a.findLoopHeads(f, fi)
+	// Loop heads come from the shared dominator-based natural-loop forest.
+	// On the reducible CFGs the builder emits, natural-loop headers are
+	// exactly the back-edge targets a DFS would gray-mark, so this is a
+	// drop-in replacement (pinned by the regression test against the
+	// pre-swap goldens).
+	fi.facts = analysis.ForFunc(f)
+	for _, h := range fi.facts.Loops.Headers() {
+		fi.loopHead[h] = true
+	}
 	a.propagate(f, fi)
 	fi.summary = fi.potential[f.Entry()]
 	return fi
-}
-
-// findLoopHeads marks blocks that are targets of back edges (DFS).
-func (a *Analysis) findLoopHeads(f *ir.Func, fi *funcInfo) {
-	const (
-		white = 0
-		gray  = 1
-		black = 2
-	)
-	color := make([]int, len(f.Blocks))
-	var dfs func(b *ir.Block)
-	dfs = func(b *ir.Block) {
-		color[b.Index] = gray
-		for _, s := range b.Succs() {
-			switch color[s.Index] {
-			case gray:
-				fi.loopHead[s] = true
-			case white:
-				dfs(s)
-			}
-		}
-		color[b.Index] = black
-	}
-	dfs(f.Entry())
 }
 
 // propagate runs the path-vector longest-path estimation: each block keeps
@@ -307,8 +293,30 @@ func (a *Analysis) Potential(b *ir.Block, pc int) uint64 {
 	return rest + succBest
 }
 
-// IsLoopHead reports whether b is the target of a back edge.
+// IsLoopHead reports whether b heads a natural loop (equivalently, on the
+// reducible CFGs the builder emits: whether b is the target of a back
+// edge).
 func (a *Analysis) IsLoopHead(b *ir.Block) bool {
 	fi := a.fns[b.Fn]
 	return fi != nil && fi.loopHead[b]
+}
+
+// LoopDepth returns b's loop nesting depth (0 = not in any loop), from
+// the underlying natural-loop forest.
+func (a *Analysis) LoopDepth(b *ir.Block) int {
+	fi := a.fns[b.Fn]
+	if fi == nil {
+		return 0
+	}
+	return fi.facts.Loops.Depth(b)
+}
+
+// Facts exposes the function's CFG/dataflow facts computed during the
+// ICFG build, so downstream consumers share one analysis.
+func (a *Analysis) Facts(f *ir.Func) *analysis.Facts {
+	fi := a.fns[f]
+	if fi == nil {
+		return nil
+	}
+	return fi.facts
 }

@@ -1,0 +1,70 @@
+package icfg_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"castan/internal/icfg"
+	"castan/internal/nf"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestPotentialGoldenSeedNFs pins the ICFG annotations — per-function
+// summaries, per-block potentials and costs, and the loop-head sets — for
+// every seed NF at M=2 and M=8 against a golden file generated before
+// findLoopHeads was replaced by the dominator-based natural-loop forest.
+// Any drift here would silently redirect CASTAN's directed search.
+func TestPotentialGoldenSeedNFs(t *testing.T) {
+	var buf bytes.Buffer
+	for _, name := range nf.Names {
+		inst, err := nf.New(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, m := range []int{2, 8} {
+			a, err := icfg.Analyze(inst.Mod, m, icfg.DefaultCostModel())
+			if err != nil {
+				t.Fatalf("%s M=%d: %v", name, m, err)
+			}
+			fnames := make([]string, 0, len(inst.Mod.Funcs))
+			for fn := range inst.Mod.Funcs {
+				fnames = append(fnames, fn)
+			}
+			sort.Strings(fnames)
+			for _, fn := range fnames {
+				f := inst.Mod.Funcs[fn]
+				fmt.Fprintf(&buf, "%s/M=%d/%s: summary=%d\n", name, m, fn, a.Summary(f))
+				for _, b := range f.Blocks {
+					fmt.Fprintf(&buf, "  %s: pot=%d cost=%d head=%v\n",
+						b.Name, a.Potential(b, 0), a.BlockCost(b), a.IsLoopHead(b))
+				}
+			}
+		}
+	}
+
+	golden := filepath.Join("testdata", "potentials.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("ICFG annotations drifted from the pre-swap golden.\n"+
+			"Diff the output of `go test ./internal/icfg -run Golden -update` to inspect.\n"+
+			"got %d bytes, want %d bytes", buf.Len(), len(want))
+	}
+}

@@ -227,6 +227,59 @@ func (i *Instr) IsTerminator() bool {
 	return false
 }
 
+// Def returns the register the instruction assigns, or NoReg if it
+// assigns none (stores, branches, returns, and calls whose result is
+// discarded).
+func (i *Instr) Def() Reg {
+	switch i.Op {
+	case OpConst, OpMov, OpBin, OpCmp, OpSelect, OpLoad, OpAlloc, OpHavoc:
+		return i.Dst
+	case OpCall:
+		return i.Dst // may be NoReg when the result is discarded
+	}
+	return NoReg
+}
+
+// Uses calls fn for every register the instruction reads. The order is
+// fixed (A, B, C, then call arguments), so traversals are deterministic.
+func (i *Instr) Uses(fn func(Reg)) {
+	use := func(r Reg) {
+		if r != NoReg {
+			fn(r)
+		}
+	}
+	switch i.Op {
+	case OpConst:
+	case OpMov:
+		use(i.A)
+	case OpBin, OpCmp:
+		use(i.A)
+		use(i.B)
+	case OpSelect:
+		use(i.A)
+		use(i.B)
+		use(i.C)
+	case OpLoad:
+		use(i.A)
+	case OpStore:
+		use(i.A)
+		use(i.B)
+	case OpBr:
+	case OpCondBr:
+		use(i.A)
+	case OpCall:
+		for _, a := range i.Args {
+			use(a)
+		}
+	case OpRet:
+		use(i.A)
+	case OpAlloc:
+		use(i.A)
+	case OpHavoc:
+		use(i.A)
+	}
+}
+
 // Block is a basic block: straight-line instructions ending in exactly one
 // terminator.
 type Block struct {
@@ -359,20 +412,32 @@ func (m *Module) Layout() {
 	m.laidOut = true
 }
 
-// Validate checks structural invariants: every block terminated, register
-// and operand indices in range, call graph acyclic (the interpreter and
-// symbex assume bounded stacks), entry function arities consistent.
+// Validate checks structural invariants: every block terminated by a
+// final terminator, block indices consistent with their position, branch
+// targets inside the enclosing function, every register operand (defs,
+// uses, call arguments) within [0, NumRegs), call graph acyclic (the
+// interpreter and symbex assume bounded stacks), call arities consistent.
 func (m *Module) Validate() error {
 	for _, f := range m.Funcs {
 		if len(f.Blocks) == 0 {
 			return fmt.Errorf("ir: function %s has no blocks", f.Name)
 		}
-		for _, b := range f.Blocks {
+		if f.NumParams < 0 || f.NumRegs < f.NumParams {
+			return fmt.Errorf("ir: function %s: %d regs cannot hold %d params",
+				f.Name, f.NumRegs, f.NumParams)
+		}
+		for idx, b := range f.Blocks {
+			if b.Fn != f {
+				return fmt.Errorf("ir: %s/%s: block belongs to another function", f.Name, b.Name)
+			}
+			if b.Index != idx {
+				return fmt.Errorf("ir: %s/%s: block index %d at position %d", f.Name, b.Name, b.Index, idx)
+			}
 			if b.Terminator() == nil {
 				return fmt.Errorf("ir: %s/%s not terminated", f.Name, b.Name)
 			}
-			for idx, in := range b.Instrs {
-				if in.IsTerminator() && idx != len(b.Instrs)-1 {
+			for i, in := range b.Instrs {
+				if in.IsTerminator() && i != len(b.Instrs)-1 {
 					return fmt.Errorf("ir: %s/%s: terminator mid-block", f.Name, b.Name)
 				}
 				if err := m.checkInstr(f, b, in); err != nil {
@@ -384,95 +449,93 @@ func (m *Module) Validate() error {
 	return m.checkAcyclicCalls()
 }
 
+// checkTarget verifies a branch target is a live block of f: non-nil and
+// present in f.Blocks at its recorded index (a pruned or foreign block
+// fails even if its Fn pointer still names f).
+func checkTarget(f *Func, t *Block) bool {
+	return t != nil && t.Fn == f && t.Index >= 0 && t.Index < len(f.Blocks) && f.Blocks[t.Index] == t
+}
+
 func (m *Module) checkInstr(f *Func, b *Block, in *Instr) error {
-	chk := func(r Reg, needed bool) error {
-		if r == NoReg {
-			if needed {
-				return fmt.Errorf("ir: %s/%s: %s missing operand", f.Name, b.Name, in.Op)
-			}
-			return nil
-		}
+	chk := func(r Reg, what string) error {
 		if int(r) < 0 || int(r) >= f.NumRegs {
-			return fmt.Errorf("ir: %s/%s: %s register %d out of range [0,%d)", f.Name, b.Name, in.Op, r, f.NumRegs)
+			return fmt.Errorf("ir: %s/%s: %s %s register %d out of range [0,%d)",
+				f.Name, b.Name, in.Op, what, r, f.NumRegs)
 		}
 		return nil
 	}
-	switch in.Op {
-	case OpConst:
-		return chk(in.Dst, true)
-	case OpMov:
-		if err := chk(in.Dst, true); err != nil {
+	// Every register the instruction reads or writes must be in range,
+	// whatever the opcode. Optional operands are NoReg, which Def/Uses
+	// already skip — any other out-of-range value is rejected here.
+	if d := in.Def(); d != NoReg {
+		if err := chk(d, "dst"); err != nil {
 			return err
 		}
-		return chk(in.A, true)
-	case OpBin, OpCmp:
-		for _, r := range []Reg{in.Dst, in.A, in.B} {
-			if err := chk(r, true); err != nil {
-				return err
-			}
+	}
+	var useErr error
+	in.Uses(func(r Reg) {
+		if useErr == nil {
+			useErr = chk(r, "src")
 		}
-	case OpSelect:
-		for _, r := range []Reg{in.Dst, in.A, in.B, in.C} {
-			if err := chk(r, true); err != nil {
-				return err
-			}
+	})
+	if useErr != nil {
+		return useErr
+	}
+	// Opcode-specific structure.
+	switch in.Op {
+	case OpConst, OpBin, OpCmp, OpSelect, OpAlloc:
+		if in.Dst == NoReg {
+			return fmt.Errorf("ir: %s/%s: %s missing dst", f.Name, b.Name, in.Op)
+		}
+	case OpMov:
+		if in.Dst == NoReg || in.A == NoReg {
+			return fmt.Errorf("ir: %s/%s: mov missing operand", f.Name, b.Name)
 		}
 	case OpLoad:
 		if !validSize(in.Size) {
 			return fmt.Errorf("ir: %s/%s: load size %d", f.Name, b.Name, in.Size)
 		}
-		if err := chk(in.Dst, true); err != nil {
-			return err
+		if in.Dst == NoReg || in.A == NoReg {
+			return fmt.Errorf("ir: %s/%s: load missing operand", f.Name, b.Name)
 		}
-		return chk(in.A, true)
 	case OpStore:
 		if !validSize(in.Size) {
 			return fmt.Errorf("ir: %s/%s: store size %d", f.Name, b.Name, in.Size)
 		}
-		if err := chk(in.A, true); err != nil {
-			return err
+		if in.A == NoReg || in.B == NoReg {
+			return fmt.Errorf("ir: %s/%s: store missing operand", f.Name, b.Name)
 		}
-		return chk(in.B, true)
 	case OpBr:
-		if in.Blk0 == nil || in.Blk0.Fn != f {
+		if !checkTarget(f, in.Blk0) {
 			return fmt.Errorf("ir: %s/%s: br target invalid", f.Name, b.Name)
 		}
 	case OpCondBr:
-		if err := chk(in.A, true); err != nil {
-			return err
+		if in.A == NoReg {
+			return fmt.Errorf("ir: %s/%s: condbr missing condition", f.Name, b.Name)
 		}
-		if in.Blk0 == nil || in.Blk1 == nil || in.Blk0.Fn != f || in.Blk1.Fn != f {
+		if !checkTarget(f, in.Blk0) || !checkTarget(f, in.Blk1) {
 			return fmt.Errorf("ir: %s/%s: condbr targets invalid", f.Name, b.Name)
 		}
 	case OpCall:
 		if in.Callee == nil {
 			return fmt.Errorf("ir: %s/%s: call without callee", f.Name, b.Name)
 		}
+		if m.Funcs[in.Callee.Name] != in.Callee {
+			return fmt.Errorf("ir: %s/%s: call to %s, which is not in the module",
+				f.Name, b.Name, in.Callee.Name)
+		}
 		if len(in.Args) != in.Callee.NumParams {
 			return fmt.Errorf("ir: %s/%s: call %s with %d args, want %d",
 				f.Name, b.Name, in.Callee.Name, len(in.Args), in.Callee.NumParams)
 		}
-		for _, a := range in.Args {
-			if err := chk(a, true); err != nil {
-				return err
-			}
-		}
-		return chk(in.Dst, false)
 	case OpRet:
-		return chk(in.A, false)
-	case OpAlloc:
-		if err := chk(in.Dst, true); err != nil {
-			return err
-		}
-		return chk(in.A, true)
 	case OpHavoc:
 		if in.HashID < 0 || in.HashID >= len(m.Hashes) {
 			return fmt.Errorf("ir: %s/%s: havoc hash id %d out of range", f.Name, b.Name, in.HashID)
 		}
-		if err := chk(in.Dst, true); err != nil {
-			return err
+		if in.Dst == NoReg || in.A == NoReg {
+			return fmt.Errorf("ir: %s/%s: havoc missing operand", f.Name, b.Name)
 		}
-		return chk(in.A, true)
 	default:
 		return fmt.Errorf("ir: %s/%s: unknown opcode %d", f.Name, b.Name, in.Op)
 	}

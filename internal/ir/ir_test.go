@@ -240,6 +240,148 @@ func TestDisassembleSmoke(t *testing.T) {
 	}
 }
 
+func TestValidateCatchesOutOfRangeRegisters(t *testing.T) {
+	// Every operand position must be range-checked, including ones the old
+	// checker skipped (e.g. a store's value operand, call arguments).
+	build := func(mut func(f *Func)) error {
+		m := NewModule("t")
+		m.Layout()
+		fb := m.NewFunc("f", 1)
+		v := fb.Const(7)
+		fb.Store(fb.Param(0), 0, v, 8)
+		fb.Ret(v)
+		f := fb.Seal()
+		mut(f)
+		return m.Validate()
+	}
+	cases := map[string]func(f *Func){
+		"store value": func(f *Func) { f.Blocks[0].Instrs[1].B = Reg(f.NumRegs) },
+		"store addr":  func(f *Func) { f.Blocks[0].Instrs[1].A = Reg(f.NumRegs + 3) },
+		"const dst":   func(f *Func) { f.Blocks[0].Instrs[0].Dst = Reg(f.NumRegs) },
+		"ret operand": func(f *Func) { f.Blocks[0].Instrs[2].A = Reg(f.NumRegs) },
+		"negative":    func(f *Func) { f.Blocks[0].Instrs[1].B = -7 },
+	}
+	for name, mut := range cases {
+		if err := build(mut); err == nil || !strings.Contains(err.Error(), "out of range") {
+			t.Errorf("%s: out-of-range register not caught: %v", name, err)
+		}
+	}
+}
+
+func TestValidateCatchesForeignBranchTarget(t *testing.T) {
+	m := NewModule("t")
+	m.Layout()
+	other := m.NewFunc("other", 0)
+	other.RetImm(0)
+	og := other.Seal()
+	fb := m.NewFunc("f", 0)
+	fb.RetImm(0)
+	f := fb.Seal()
+	// Replace f's terminator with a branch into the other function.
+	f.Blocks[0].Instrs[len(f.Blocks[0].Instrs)-1] = &Instr{Op: OpBr, Blk0: og.Blocks[0]}
+	if err := m.Validate(); err == nil || !strings.Contains(err.Error(), "target") {
+		t.Errorf("foreign branch target not caught: %v", err)
+	}
+}
+
+func TestValidateCatchesPrunedBranchTarget(t *testing.T) {
+	// A branch to a block that was removed from Fn.Blocks (e.g. pruned but
+	// still referenced) must be rejected even though its Fn pointer matches.
+	m := NewModule("t")
+	m.Layout()
+	fb := m.NewFunc("f", 0)
+	fb.RetImm(0)
+	f := fb.Seal()
+	ghost := &Block{Name: "ghost", Index: 5, Fn: f,
+		Instrs: []*Instr{{Op: OpRet, A: NoReg}}}
+	f.Blocks[0].Instrs[len(f.Blocks[0].Instrs)-1] = &Instr{Op: OpBr, Blk0: ghost}
+	if err := m.Validate(); err == nil || !strings.Contains(err.Error(), "target") {
+		t.Errorf("pruned branch target not caught: %v", err)
+	}
+}
+
+func TestValidateCatchesBadBlockIndex(t *testing.T) {
+	m := NewModule("t")
+	m.Layout()
+	fb := m.NewFunc("f", 0)
+	fb.RetImm(0)
+	f := fb.Seal()
+	f.Blocks[0].Index = 3
+	if err := m.Validate(); err == nil || !strings.Contains(err.Error(), "index") {
+		t.Errorf("bad block index not caught: %v", err)
+	}
+}
+
+func TestValidateCatchesMidBlockTerminator(t *testing.T) {
+	m := NewModule("t")
+	m.Layout()
+	fb := m.NewFunc("f", 0)
+	fb.RetImm(0)
+	f := fb.Seal()
+	f.Blocks[0].Instrs = append([]*Instr{{Op: OpRet, A: NoReg}}, f.Blocks[0].Instrs...)
+	if err := m.Validate(); err == nil || !strings.Contains(err.Error(), "terminator") {
+		t.Errorf("mid-block terminator not caught: %v", err)
+	}
+}
+
+func TestValidateCatchesTooFewRegs(t *testing.T) {
+	m := NewModule("t")
+	m.Layout()
+	fb := m.NewFunc("f", 2)
+	fb.RetImm(0)
+	f := fb.Seal()
+	f.NumRegs = 1 // cannot hold 2 params
+	if err := m.Validate(); err == nil {
+		t.Error("NumRegs < NumParams not caught")
+	}
+}
+
+func TestDefAndUses(t *testing.T) {
+	uses := func(in *Instr) []Reg {
+		var out []Reg
+		in.Uses(func(r Reg) { out = append(out, r) })
+		return out
+	}
+	eq := func(a, b []Reg) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cases := []struct {
+		in      Instr
+		def     Reg
+		useRegs []Reg
+	}{
+		{Instr{Op: OpConst, Dst: 3}, 3, nil},
+		{Instr{Op: OpMov, Dst: 1, A: 2}, 1, []Reg{2}},
+		{Instr{Op: OpBin, Dst: 1, A: 2, B: 3}, 1, []Reg{2, 3}},
+		{Instr{Op: OpSelect, Dst: 1, A: 2, B: 3, C: 4}, 1, []Reg{2, 3, 4}},
+		{Instr{Op: OpLoad, Dst: 1, A: 2}, 1, []Reg{2}},
+		{Instr{Op: OpStore, A: 1, B: 2}, NoReg, []Reg{1, 2}},
+		{Instr{Op: OpBr}, NoReg, nil},
+		{Instr{Op: OpCondBr, A: 5}, NoReg, []Reg{5}},
+		{Instr{Op: OpCall, Dst: 1, Args: []Reg{2, 3}}, 1, []Reg{2, 3}},
+		{Instr{Op: OpRet, A: NoReg}, NoReg, nil},
+		{Instr{Op: OpRet, A: 4}, NoReg, []Reg{4}},
+		{Instr{Op: OpAlloc, Dst: 1, A: 2}, 1, []Reg{2}},
+		{Instr{Op: OpHavoc, Dst: 1, A: 2}, 1, []Reg{2}},
+	}
+	for _, c := range cases {
+		if got := c.in.Def(); got != c.def {
+			t.Errorf("%s: Def = %d, want %d", c.in.Op, got, c.def)
+		}
+		if got := uses(&c.in); !eq(got, c.useRegs) {
+			t.Errorf("%s: Uses = %v, want %v", c.in.Op, got, c.useRegs)
+		}
+	}
+}
+
 func TestGlobalsOverflowPanics(t *testing.T) {
 	m := NewModule("t")
 	m.AddGlobal("huge", HeapBase, 0) // deliberately overflows into heap

@@ -1,0 +1,47 @@
+package nf
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestDisassembleGolden pins the full disassembly of every catalog NF.
+// The IR is the single artifact both the interpreter and the symbolic
+// engine consume; any unintended change to an NF's instruction stream —
+// from builder refactors or NF edits alike — shows up here as a readable
+// diff instead of as silently different experiment numbers.
+func TestDisassembleGolden(t *testing.T) {
+	for _, name := range Names {
+		t.Run(name, func(t *testing.T) {
+			inst, err := New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := []byte(inst.Mod.Disassemble())
+			golden := filepath.Join("testdata", name+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run `go test ./internal/nf -run Disassemble -update`): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s disassembly drifted from golden (%d bytes vs %d).\n"+
+					"Re-run with -update and review the diff if the change is intended.",
+					name, len(got), len(want))
+			}
+		})
+	}
+}
