@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke fmt fmt-fix vet lint irlint print-staticcheck-version check
+.PHONY: all build test race bench bench-smoke bench-metrics trace-smoke fmt fmt-fix vet lint irlint print-staticcheck-version check
 
 # Pinned staticcheck release; CI installs exactly this version.
 STATICCHECK_VERSION = 2025.1.1
@@ -27,6 +27,27 @@ bench:
 # once with -short budgets, proving the harness end to end in minutes.
 bench-smoke:
 	$(GO) test -short -bench . -benchtime 1x -run '^$$' .
+
+# Instrumented analysis over the seed NF catalog: phase durations plus
+# core effort counters per NF, written as results/BENCH_castan.json.
+# Performance PRs diff this file to prove their speedups.
+bench-metrics:
+	$(GO) run ./cmd/benchmetrics -out results/BENCH_castan.json
+
+# Short observability smoke (what CI runs): one traced cmd/castan run,
+# then schema-validate the trace and assert the core counters moved.
+# CI overrides TRACE_SMOKE_DIR to a workspace dir and uploads it.
+TRACE_SMOKE_DIR ?= /tmp/castan-trace-smoke
+trace-smoke:
+	mkdir -p $(TRACE_SMOKE_DIR)
+	$(GO) run ./cmd/castan -nf lpm-trie -packets 6 -states 3000 \
+		-out $(TRACE_SMOKE_DIR)/lpm-trie.pcap \
+		-trace $(TRACE_SMOKE_DIR)/trace.json \
+		-metrics-out $(TRACE_SMOKE_DIR)/metrics.json \
+		-report $(TRACE_SMOKE_DIR)/report.json
+	$(GO) run ./cmd/tracecheck -trace $(TRACE_SMOKE_DIR)/trace.json \
+		-metrics $(TRACE_SMOKE_DIR)/metrics.json \
+		-require solver.queries,memsim.dram_misses,symbex.states_explored
 
 fmt:
 	@out="$$(gofmt -l .)"; \

@@ -1,0 +1,122 @@
+// Command benchmetrics runs an instrumented CASTAN analysis over the
+// seed NF catalog with modest budgets and writes per-NF phase durations
+// plus core effort counters as one JSON file (results/BENCH_castan.json
+// via `make bench-metrics`). Later performance PRs diff these numbers to
+// prove their speedups against recorded baselines rather than anecdotes.
+//
+// Durations come from the wall clock, so only the counter columns are
+// run-to-run stable; the phase timings are indicative.
+//
+// Usage:
+//
+//	benchmetrics -out results/BENCH_castan.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"castan/internal/castan"
+	"castan/internal/memsim"
+	"castan/internal/nf"
+	"castan/internal/obs"
+)
+
+// coreCounters are the effort columns every benchmark row carries.
+var coreCounters = []string{
+	"solver.queries",
+	"solver.backtracks",
+	"symbex.states_explored",
+	"symbex.forks",
+	"symbex.instructions",
+	"memsim.accesses",
+	"memsim.dram_misses",
+	"rainbow.chains",
+	"castan.havocs_reconciled",
+}
+
+type row struct {
+	NF       string            `json:"nf"`
+	Error    string            `json:"error,omitempty"`
+	Seconds  float64           `json:"seconds,omitempty"`
+	Phases   []obs.Phase       `json:"phases,omitempty"`
+	Counters map[string]uint64 `json:"counters,omitempty"`
+}
+
+type report struct {
+	Schema  string `json:"schema"`
+	Packets int    `json:"packets"`
+	States  int    `json:"states"`
+	Seed    uint64 `json:"seed"`
+	Rows    []row  `json:"rows"`
+}
+
+func main() {
+	var (
+		out     = flag.String("out", "results/BENCH_castan.json", "output path")
+		nfs     = flag.String("nfs", "", "comma-separated NF subset (default: the full catalog)")
+		packets = flag.Int("packets", 6, "workload length per NF")
+		states  = flag.Int("states", 4000, "exploration budget per NF")
+		seed    = flag.Uint64("seed", 2018, "analysis seed")
+	)
+	flag.Parse()
+	names := nf.Names
+	if *nfs != "" {
+		names = strings.Split(*nfs, ",")
+	}
+	rep := report{Schema: "castan-bench-metrics/v1", Packets: *packets, States: *states, Seed: *seed}
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		r := row{NF: name}
+		inst, err := nf.New(name)
+		if err != nil {
+			r.Error = err.Error()
+			rep.Rows = append(rep.Rows, r)
+			continue
+		}
+		rec := obs.New(nil)
+		hier := memsim.New(memsim.DefaultGeometry(), *seed)
+		res, err := castan.Analyze(inst, hier, castan.Config{
+			NPackets:  *packets,
+			MaxStates: *states,
+			Seed:      *seed,
+			Obs:       rec,
+		})
+		if err != nil {
+			r.Error = err.Error()
+			rep.Rows = append(rep.Rows, r)
+			continue
+		}
+		r.Seconds = res.AnalysisTime.Seconds()
+		r.Phases = res.Telemetry.Phases
+		r.Counters = map[string]uint64{}
+		for _, c := range coreCounters {
+			r.Counters[c] = res.Telemetry.Counters[c]
+		}
+		rep.Rows = append(rep.Rows, r)
+		fmt.Printf("%-12s %6.2fs  %d states, %d solver queries, %d DRAM misses\n",
+			name, r.Seconds, r.Counters["symbex.states_explored"],
+			r.Counters["solver.queries"], r.Counters["memsim.dram_misses"])
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d NFs)\n", *out, len(rep.Rows))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchmetrics:", err)
+	os.Exit(1)
+}

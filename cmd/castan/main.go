@@ -12,12 +12,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"castan/internal/cachemodel"
 	"castan/internal/castan"
 	"castan/internal/memsim"
 	"castan/internal/nf"
+	"castan/internal/obs"
 	"castan/internal/pcap"
 	"castan/internal/workload"
 )
@@ -35,6 +38,10 @@ func main() {
 		noRain   = flag.Bool("no-rainbow", false, "disable havoc reconciliation (ablation)")
 		validate = flag.Bool("validate", true, "replay the workload on the interpreter as a sanity check")
 		workers  = flag.Int("workers", 0, "worker count for parallel analysis stages (0 = GOMAXPROCS); output is identical at any value")
+		trace    = flag.String("trace", "", "write a Chrome trace_event file (load in chrome://tracing or ui.perfetto.dev) of the pipeline to this path")
+		metrics  = flag.String("metrics-out", "", "write the run's counters/gauges/histograms/phases (JSON) to this path")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this path")
 	)
 	flag.Parse()
 	if *nfName == "" {
@@ -70,9 +77,47 @@ func main() {
 		}
 		cfg.CacheModel = m
 	}
+	if *trace != "" || *metrics != "" {
+		// CLI runs use the wall clock: trace durations are real time.
+		cfg.Obs = obs.New(nil)
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
 	res, err := castan.Analyze(inst, hier, cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if *trace != "" {
+		if err := cfg.Obs.WriteChromeTraceFile(*trace); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote pipeline trace to %s\n", *trace)
+	}
+	if *metrics != "" {
+		if err := res.Telemetry.WriteJSONFile(*metrics); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote metrics to %s\n", *metrics)
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
 	}
 	path := *out
 	if path == "" {

@@ -15,10 +15,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"castan/internal/experiments"
+	"castan/internal/obs"
 	"castan/internal/testbed"
 	"castan/internal/workload"
 )
@@ -36,6 +38,9 @@ func main() {
 		pcapIn  = flag.String("pcap", "", "PCAP file with the custom workload")
 		mix     = flag.String("mix", "", "run the adversarial-fraction sweep (§5.5 future work) for this NF")
 		workers = flag.Int("workers", 0, "worker count for the campaign (0 = GOMAXPROCS); table cells are identical at any value")
+		trace   = flag.String("trace", "", "write a Chrome trace_event file of the campaign's CASTAN analyses to this path")
+		metrics = flag.String("metrics-out", "", "write the campaign's aggregated analysis metrics (JSON) to this path")
+		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
 	)
 	flag.Parse()
 
@@ -44,11 +49,27 @@ func main() {
 		return
 	}
 
+	var rec *obs.Recorder
+	if *trace != "" || *metrics != "" {
+		rec = obs.New(nil)
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
 	c := experiments.NewCampaign(experiments.Config{
 		Seed:         *seed,
 		Packets:      *packets,
 		CastanStates: *states,
 		Workers:      *workers,
+		Obs:          rec,
 	})
 	var subset []string
 	if *nfs != "" {
@@ -89,6 +110,18 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Printf("(campaign time: %s)\n", experiments.Elapsed(start))
+	if *trace != "" {
+		if err := rec.WriteChromeTraceFile(*trace); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote campaign trace to %s\n", *trace)
+	}
+	if *metrics != "" {
+		if err := rec.Snapshot().WriteJSONFile(*metrics); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote campaign metrics to %s\n", *metrics)
+	}
 }
 
 func renderTable(c *experiments.Campaign, id int, nfs []string) {

@@ -1,0 +1,70 @@
+// Command tracecheck validates observability artifacts produced by
+// cmd/castan and cmd/testbed: that a -trace file matches the Chrome
+// trace_event schema the exporter promises (CI runs it on the smoke
+// trace before uploading artifacts), and optionally that a -metrics-out
+// file carries nonzero values for required counters.
+//
+// Usage:
+//
+//	tracecheck -trace out.jsonl
+//	tracecheck -trace out.jsonl -metrics metrics.json -require solver.queries,memsim.dram_misses
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"castan/internal/obs"
+)
+
+func main() {
+	var (
+		trace   = flag.String("trace", "", "Chrome trace file to validate")
+		metrics = flag.String("metrics", "", "metrics JSON file to validate")
+		require = flag.String("require", "", "comma-separated counters that must be present and nonzero in -metrics")
+	)
+	flag.Parse()
+	if *trace == "" && *metrics == "" {
+		fmt.Fprintln(os.Stderr, "tracecheck: nothing to do; pass -trace and/or -metrics")
+		os.Exit(2)
+	}
+	if *trace != "" {
+		n, err := obs.ValidateChromeTraceFile(*trace)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", *trace, err))
+		}
+		fmt.Printf("%s: valid Chrome trace, %d events\n", *trace, n)
+	}
+	if *metrics != "" {
+		f, err := os.Open(*metrics)
+		if err != nil {
+			fatal(err)
+		}
+		m, err := obs.ReadMetrics(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", *metrics, err))
+		}
+		if *require != "" {
+			for _, name := range strings.Split(*require, ",") {
+				name = strings.TrimSpace(name)
+				if name == "" {
+					continue
+				}
+				if m.Counters[name] == 0 {
+					fatal(fmt.Errorf("%s: required counter %q is missing or zero", *metrics, name))
+				}
+				fmt.Printf("%s: %s = %d\n", *metrics, name, m.Counters[name])
+			}
+		}
+		fmt.Printf("%s: %d counters, %d gauges, %d histograms, %d phases\n",
+			*metrics, len(m.Counters), len(m.Gauges), len(m.Histograms), len(m.Phases))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracecheck:", err)
+	os.Exit(1)
+}

@@ -26,6 +26,7 @@ import (
 	"castan/internal/memsim"
 	"castan/internal/nf"
 	"castan/internal/nfhash"
+	"castan/internal/obs"
 	"castan/internal/packet"
 	"castan/internal/parallel"
 	"castan/internal/rainbow"
@@ -74,6 +75,12 @@ type Config struct {
 	// during havoc reconciliation, and frame extraction. Output is
 	// identical at every worker count.
 	Workers int
+	// Obs, when non-nil, receives pipeline telemetry: phase spans, solver
+	// and symbex effort, memory-simulator traffic, and rainbow/havoc
+	// reconciliation counts. With a fake clock the recorded output is
+	// byte-identical at every worker count (DESIGN.md decision 8), and
+	// the snapshot lands in Output.Telemetry.
+	Obs *obs.Recorder
 }
 
 func (c *Config) fill() {
@@ -129,9 +136,13 @@ type Output struct {
 	StaticHavocSites int
 	// ContentionSetsFound is the discovery result size (0 = no model).
 	ContentionSetsFound int
-	// StatesExplored and AnalysisTime describe the effort (Table 4).
+	// StatesExplored, Forks and AnalysisTime describe the effort (Table 4).
 	StatesExplored int
+	Forks          int
 	AnalysisTime   time.Duration
+	// Telemetry is the observability snapshot for this run (nil unless
+	// Config.Obs was set).
+	Telemetry *obs.Metrics
 }
 
 // Analyze runs the full CASTAN pipeline on a *freshly built* NF instance.
@@ -139,6 +150,11 @@ type Output struct {
 func Analyze(inst *nf.Instance, hier *memsim.Hierarchy, cfg Config) (*Output, error) {
 	cfg.fill()
 	start := time.Now()
+	rec := cfg.Obs
+	if rec != nil {
+		hier.SetObs(rec)
+	}
+	root := rec.Span("castan.analyze")
 
 	// Stage 0: static gate. A module that fails the pass pipeline (broken
 	// structure, use-before-def, definite out-of-extent access) would make
@@ -146,6 +162,7 @@ func Analyze(inst *nf.Instance, hier *memsim.Hierarchy, cfg Config) (*Output, er
 	// run yields the facts the later stages reuse: the memory-region
 	// footprints seed contention-set candidates when the NF declares no
 	// attack regions, and the static havoc sites bound rainbow-table work.
+	spStatic := root.Child("castan.static")
 	rep := analysis.Lint(inst.Mod, analysis.Options{
 		EntryHints: analysis.NFEntryHints(),
 		NoDeadDefs: true,
@@ -161,6 +178,7 @@ func Analyze(inst *nf.Instance, hier *memsim.Hierarchy, cfg Config) (*Output, er
 	for _, s := range staticSites {
 		staticHashIDs[s.HashID] = true
 	}
+	spStatic.End()
 
 	// Stage 1: empirical cache model over the NF's attack regions; when
 	// the NF declares none, fall back to the statically derived table
@@ -169,6 +187,7 @@ func Analyze(inst *nf.Instance, hier *memsim.Hierarchy, cfg Config) (*Output, er
 	if len(regions) == 0 {
 		regions = staticAttackRegions(mr)
 	}
+	spDiscover := root.Child("castan.discover")
 	var model *cachemodel.Model
 	switch {
 	case cfg.NoCacheModel:
@@ -177,11 +196,14 @@ func Analyze(inst *nf.Instance, hier *memsim.Hierarchy, cfg Config) (*Output, er
 	case len(regions) > 0:
 		model = discoverModel(regions, hier, cfg)
 	}
+	spDiscover.End()
+	rec.Counter("castan.contention_sets").Add(uint64(modelSets(model)))
 
 	// Stage 2: directed symbolic execution. Realized costs use the
 	// realistic model; the search heuristic uses an optimistic one
 	// (memory at DRAM latency, loops assumed to run as often as there are
 	// packets), so the best-first queue surfaces worst-case paths first.
+	spICFG := root.Child("castan.icfg")
 	an, err := icfg.Analyze(inst.Mod, 2, icfg.DefaultCostModel())
 	if err != nil {
 		return nil, fmt.Errorf("castan: icfg: %w", err)
@@ -194,6 +216,7 @@ func Analyze(inst *nf.Instance, hier *memsim.Hierarchy, cfg Config) (*Output, er
 	if err != nil {
 		return nil, fmt.Errorf("castan: icfg potential: %w", err)
 	}
+	spICFG.End()
 	eng := &symbex.Engine{
 		Mod:               inst.Mod,
 		Analysis:          an,
@@ -208,8 +231,11 @@ func Analyze(inst *nf.Instance, hier *memsim.Hierarchy, cfg Config) (*Output, er
 			MaxStates:    cfg.MaxStates,
 			MaxLoopIters: cfg.MaxLoopIters,
 		},
+		Obs: rec,
 	}
+	spSymbex := root.Child("castan.symbex")
 	res, err := eng.Run()
+	spSymbex.End()
 	if err != nil {
 		return nil, fmt.Errorf("castan: symbex: %w", err)
 	}
@@ -219,6 +245,7 @@ func Analyze(inst *nf.Instance, hier *memsim.Hierarchy, cfg Config) (*Output, er
 
 	// Stage 3+4: reconcile havocs and solve, falling back to the next-best
 	// completed state if the best one resists solving.
+	spReconcile := root.Child("castan.reconcile")
 	var lastErr error
 	for _, st := range res.Completed {
 		out, err := concretize(inst, eng, st, cfg, staticHashIDs)
@@ -228,9 +255,15 @@ func Analyze(inst *nf.Instance, hier *memsim.Hierarchy, cfg Config) (*Output, er
 		}
 		out.ContentionSetsFound = modelSets(model)
 		out.StatesExplored = res.StatesExplored
+		out.Forks = res.Forks
 		out.LintWarnings = rep.Count(analysis.SevWarn)
 		out.StaticHavocSites = len(staticSites)
 		out.AnalysisTime = time.Since(start)
+		// End the spans before snapshotting so every phase is in the
+		// snapshot; Telemetry is the last field assigned.
+		spReconcile.End()
+		root.End()
+		out.Telemetry = rec.Snapshot()
 		return out, nil
 	}
 	return nil, fmt.Errorf("castan: no completed state solvable: %v", lastErr)
@@ -312,8 +345,10 @@ func discoverModel(regions []nf.Region, hier *memsim.Hierarchy, cfg Config) *cac
 func concretize(inst *nf.Instance, eng *symbex.Engine, st *symbex.State, cfg Config, staticHashIDs map[int]bool) (*Output, error) {
 	// The engine maintains the invariant that each state's cached model
 	// satisfies its constraints, so it is both the starting model and the
-	// hint for all reconciliation checks.
-	sol := solver.Solver{Hint: st.Model(), MaxSteps: 30000}
+	// hint for all reconciliation checks. The solver runs on the pipeline
+	// goroutine, so instrumenting it keeps the recorded totals
+	// deterministic.
+	sol := solver.Solver{Hint: st.Model(), MaxSteps: 30000, Obs: cfg.Obs}
 	cons := append([]*expr.Expr(nil), st.Constraints()...)
 	mdl, err := sol.Solve(cons)
 	if err != nil {
@@ -356,6 +391,8 @@ func concretize(inst *nf.Instance, eng *symbex.Engine, st *symbex.State, cfg Con
 			}
 		}
 	}
+	cfg.Obs.Counter("castan.havocs").Add(uint64(len(st.Havocs)))
+	cfg.Obs.Counter("castan.havocs_reconciled").Add(uint64(reconciled))
 
 	frames := parallel.Map(cfg.Workers, eng.Cfg.NPackets, func(p int) []byte {
 		return frameFromModel(eng, mdl, p)
@@ -399,6 +436,11 @@ func buildRainbowTables(inst *nf.Instance, cfg Config, staticHashIDs map[int]boo
 		key := fmt.Sprintf("%s/%d/%d/%T%v", inst.Name, h.HashID, h.Bits, h.Space, h.Space)
 		h := h
 		tbl, err := rainbowCache.Do(key, func() (*rainbow.Table, error) {
+			// rcfg.Obs stays nil on purpose: cached tables outlive one
+			// Analyze, so a build-time recorder would credit all chain
+			// work to whichever run built the table first. Counting below
+			// from the finished table charges every run identically,
+			// cache hit or fresh build.
 			rcfg := rainbow.DefaultConfig(h.Bits)
 			rcfg.Chains *= cfg.RainbowCoverage
 			rcfg.Workers = cfg.Workers
@@ -407,6 +449,8 @@ func buildRainbowTables(inst *nf.Instance, cfg Config, staticHashIDs map[int]boo
 		if err != nil {
 			continue
 		}
+		cfg.Obs.Counter("rainbow.tables").Inc()
+		cfg.Obs.Counter("rainbow.chains").Add(uint64(tbl.Chains()))
 		out[h.HashID] = tbl
 	}
 	return out
@@ -464,7 +508,10 @@ func reconcileHavoc(sol *solver.Solver, cons []*expr.Expr, mdl solver.Model, pin
 	// brute force (per §3.5: "brute-force methods augmented by the use of
 	// rainbow tables") fills in when the attack needs many distinct
 	// preimages of one value, as collision workloads do.
+	rec := sol.Obs
 	candidates := tbl.Invert(want, 16)
+	rec.Counter("rainbow.invert_attempts").Inc()
+	rec.Counter("rainbow.invert_keys").Add(uint64(len(candidates)))
 	if len(candidates) < 16 {
 		// Finding one preimage costs ~2^bits random tries; budget for a
 		// handful, capped so wide hashes stay tractable.
@@ -472,6 +519,7 @@ func reconcileHavoc(sol *solver.Solver, cons []*expr.Expr, mdl solver.Model, pin
 		if budget > 4<<20 {
 			budget = 4 << 20
 		}
+		rec.Counter("rainbow.bruteforce_calls").Inc()
 		candidates = append(candidates, tbl.BruteForce(want, 48, budget, want^uint64(h.Packet)*0x9e3779b9)...)
 	}
 	viable := candidates[:0]
@@ -504,6 +552,11 @@ func reconcileHavoc(sol *solver.Solver, cons []*expr.Expr, mdl solver.Model, pin
 		if solver.QuickFeasible(all) == solver.Unsat {
 			return false
 		}
+		// Worker solvers stay uninstrumented: parallel.First batches may
+		// speculatively check a few candidates past the accepting index,
+		// so per-worker query counts vary with the worker count. The
+		// sequential-equivalent effort is recorded below instead
+		// (DESIGN.md decision 8).
 		worker := solver.Solver{MaxSteps: sol.MaxSteps, Hint: sol.Hint}
 		if res, _ := worker.Check(all); res != solver.Sat {
 			return false
@@ -511,6 +564,13 @@ func reconcileHavoc(sol *solver.Solver, cons []*expr.Expr, mdl solver.Model, pin
 		pins[i] = p
 		return true
 	})
+	// hit is worker-count invariant (lowest accepted index), so so is this
+	// count: candidates a sequential scan would have checked.
+	if hit >= 0 {
+		rec.Counter("castan.reconcile_checks").Add(uint64(hit + 1))
+	} else {
+		rec.Counter("castan.reconcile_checks").Add(uint64(len(viable)))
+	}
 	if hit < 0 {
 		return false, nil
 	}

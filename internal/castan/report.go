@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 
+	"castan/internal/obs"
 	"castan/internal/packet"
 )
 
@@ -27,7 +28,11 @@ type Report struct {
 	HavocsReconciled    int            `json:"havocs_reconciled"`
 	ContentionSetsFound int            `json:"contention_sets_found"`
 	StatesExplored      int            `json:"states_explored"`
+	Forks               int            `json:"forks"`
 	AnalysisSeconds     float64        `json:"analysis_seconds"`
+	// Telemetry is the observability snapshot (absent unless the run was
+	// instrumented via Config.Obs).
+	Telemetry *obs.Metrics `json:"telemetry,omitempty"`
 }
 
 // PacketReport describes one synthesized packet.
@@ -50,7 +55,9 @@ func (o *Output) Report() *Report {
 		HavocsReconciled:    o.HavocsReconciled,
 		ContentionSetsFound: o.ContentionSetsFound,
 		StatesExplored:      o.StatesExplored,
+		Forks:               o.Forks,
 		AnalysisSeconds:     o.AnalysisTime.Seconds(),
+		Telemetry:           o.Telemetry,
 	}
 	for i, fr := range o.Frames {
 		pr := PacketReport{Index: i}

@@ -14,6 +14,7 @@ import (
 	"castan/internal/castan"
 	"castan/internal/memsim"
 	"castan/internal/nf"
+	"castan/internal/obs"
 	"castan/internal/parallel"
 	"castan/internal/stats"
 	"castan/internal/testbed"
@@ -41,6 +42,9 @@ type Config struct {
 	// every worker count (Table 4's wall-clock column excepted — it
 	// reports real elapsed time by design).
 	Workers int
+	// Obs, when non-nil, instruments every per-NF CASTAN analysis in the
+	// campaign (shared recorder; counters aggregate across NFs).
+	Obs *obs.Recorder
 }
 
 func (c *Config) fill() {
@@ -122,6 +126,7 @@ func (c *Campaign) Castan(nfName string) (*castan.Output, error) {
 			MaxStates: c.cfg.CastanStates,
 			Seed:      c.cfg.Seed,
 			Workers:   c.cfg.Workers,
+			Obs:       c.cfg.Obs,
 		})
 	})
 }

@@ -14,6 +14,7 @@ package memsim
 import (
 	"fmt"
 
+	"castan/internal/obs"
 	"castan/internal/stats"
 )
 
@@ -110,6 +111,18 @@ type Counters struct {
 	DRAM     uint64
 }
 
+// obsCounters caches the hierarchy's obs instruments so the per-access
+// hot path never takes the recorder's registry lock. The zero value
+// (nil counters) no-ops. Unlike Stats — which ProbeTime and
+// InjectPacket save and restore so NF-visible counters exclude probe
+// traffic — obs counters deliberately keep counting through probes:
+// they measure total simulator effort, including discovery.
+type obsCounters struct {
+	accesses, l1Hits, l2Hits, l3Hits, dram *obs.Counter
+	l3Evictions                            *obs.Counter
+	probeCalls, probeLineReads             *obs.Counter
+}
+
 // cache is one set-associative level with LRU replacement.
 type cache struct {
 	sets  int
@@ -198,6 +211,29 @@ type Hierarchy struct {
 	l1, l2, l3 *cache
 
 	Stats Counters
+	obs   obsCounters
+}
+
+// SetObs points the hierarchy's telemetry at rec (nil disables it).
+// Forked hierarchies inherit the same counters, so parallel discovery
+// probes aggregate into one set of totals; because parallel.Shards runs
+// every probe regardless of worker count and forks replay identical
+// accesses, the totals stay worker-count invariant.
+func (h *Hierarchy) SetObs(rec *obs.Recorder) {
+	if rec == nil {
+		h.obs = obsCounters{}
+		return
+	}
+	h.obs = obsCounters{
+		accesses:       rec.Counter("memsim.accesses"),
+		l1Hits:         rec.Counter("memsim.l1_hits"),
+		l2Hits:         rec.Counter("memsim.l2_hits"),
+		l3Hits:         rec.Counter("memsim.l3_hits"),
+		dram:           rec.Counter("memsim.dram_misses"),
+		l3Evictions:    rec.Counter("memsim.l3_evictions"),
+		probeCalls:     rec.Counter("memsim.probe_calls"),
+		probeLineReads: rec.Counter("memsim.probe_line_reads"),
+	}
 }
 
 // New creates a hierarchy with the given geometry. The seed fixes the
@@ -241,6 +277,7 @@ func (h *Hierarchy) Fork() *Hierarchy {
 		l1:      newCache(h.geo.L1Sets, h.geo.L1Ways),
 		l2:      newCache(h.geo.L2Sets, h.geo.L2Ways),
 		l3:      newCache(h.geo.L3Slices*h.geo.L3SetsPerSlice, h.geo.L3Ways),
+		obs:     h.obs,
 	}
 	for vpn, ppn := range h.pageMap {
 		f.pageMap[vpn] = ppn
@@ -335,6 +372,7 @@ func (h *Hierarchy) Access(vaddr uint64, size uint8, write bool) (Level, uint64)
 // accessLine performs the per-line hit/miss/fill logic.
 func (h *Hierarchy) accessLine(vline uint64) (Level, uint64) {
 	h.Stats.Accesses++
+	h.obs.accesses.Inc()
 	pline := h.translate(vline) >> lineShift(h.geo)
 	// Tag 0 means "empty way"; offset all line tags by +1 to disambiguate.
 	tag := pline + 1
@@ -342,17 +380,20 @@ func (h *Hierarchy) accessLine(vline uint64) (Level, uint64) {
 	l1set := int(pline % uint64(h.geo.L1Sets))
 	if h.l1.lookup(l1set, tag) {
 		h.Stats.L1Hits++
+		h.obs.l1Hits.Inc()
 		return L1, h.geo.LatL1
 	}
 	l2set := int(pline % uint64(h.geo.L2Sets))
 	if h.l2.lookup(l2set, tag) {
 		h.Stats.L2Hits++
+		h.obs.l2Hits.Inc()
 		h.l1.insert(l1set, tag)
 		return L2, h.geo.LatL2
 	}
 	l3set := h.l3Set(pline)
 	if h.l3.lookup(l3set, tag) {
 		h.Stats.L3Hits++
+		h.obs.l3Hits.Inc()
 		h.l2.insert(l2set, tag)
 		h.l1.insert(l1set, tag)
 		return L3, h.geo.LatL3
@@ -360,7 +401,9 @@ func (h *Hierarchy) accessLine(vline uint64) (Level, uint64) {
 	// Miss everywhere: fill all levels; the L3 is inclusive, so an L3
 	// eviction back-invalidates L1 and L2.
 	h.Stats.DRAM++
+	h.obs.dram.Inc()
 	if evicted := h.l3.insert(l3set, tag); evicted != 0 {
+		h.obs.l3Evictions.Inc()
 		ep := evicted - 1
 		h.l1.invalidate(int(ep%uint64(h.geo.L1Sets)), evicted)
 		h.l2.invalidate(int(ep%uint64(h.geo.L2Sets)), evicted)
@@ -393,6 +436,8 @@ func (h *Hierarchy) ProbeTime(addrs []uint64, rounds int) uint64 {
 	if rounds < 1 {
 		rounds = 1
 	}
+	h.obs.probeCalls.Inc()
+	h.obs.probeLineReads.Add(uint64(len(addrs) * (rounds + 1)))
 	h.Flush()
 	saved := h.Stats
 	for _, a := range addrs {

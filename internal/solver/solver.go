@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"castan/internal/expr"
+	"castan/internal/obs"
 )
 
 // Result is the outcome of a satisfiability check.
@@ -110,6 +111,12 @@ type Solver struct {
 	// hint already satisfies, the search only repairs the affected
 	// variables, making incremental checks nearly free.
 	Hint Model
+	// Obs, when set, receives per-query telemetry: query counts by
+	// outcome, steps and clock time per query, propagation rounds,
+	// backtracks, and hint hits. Callers whose query count depends on the
+	// worker count (speculative parallel batches) must leave it nil so
+	// the recorded totals stay deterministic (DESIGN.md decision 8).
+	Obs *obs.Recorder
 }
 
 // DefaultMaxSteps is the default search budget.
@@ -119,9 +126,21 @@ const DefaultMaxSteps = 400000
 // is interpreted as "expression != 0". On Sat the returned model assigns
 // every variable that occurs in the constraints.
 func (s *Solver) Check(constraints []*expr.Expr) (Result, Model) {
+	var start uint64
+	if s.Obs != nil {
+		start = s.Obs.NowNanos()
+	}
+	res, m, p := s.check(constraints)
+	if s.Obs != nil {
+		s.record(res, p, s.Obs.NowNanos()-start)
+	}
+	return res, m
+}
+
+func (s *Solver) check(constraints []*expr.Expr) (Result, Model, *problem) {
 	p, res := newProblem(constraints)
 	if res != Unknown {
-		return res, modelIfSat(res, p)
+		return res, modelIfSat(res, p), p
 	}
 	budget := s.MaxSteps
 	if budget <= 0 {
@@ -131,12 +150,29 @@ func (s *Solver) Check(constraints []*expr.Expr) (Result, Model) {
 	p.hint = s.Hint
 	switch p.search() {
 	case searchSat:
-		return Sat, p.model()
+		return Sat, p.model(), p
 	case searchUnsat:
-		return Unsat, nil
+		return Unsat, nil, p
 	default:
-		return Unknown, nil
+		return Unknown, nil, p
 	}
+}
+
+// record flushes one query's effort to the recorder. Per-problem tallies
+// are plain ints bumped on the (single-goroutine) search path and merged
+// here with one atomic add each, keeping the hot loop cheap.
+func (s *Solver) record(res Result, p *problem, durNanos uint64) {
+	rec := s.Obs
+	rec.Counter("solver.queries").Inc()
+	rec.Counter("solver.queries_" + res.String()).Inc()
+	rec.Histogram("solver.query_ns", obs.ExpBuckets(256, 20)...).Observe(durNanos)
+	if p == nil {
+		return
+	}
+	rec.Histogram("solver.steps_per_query", obs.ExpBuckets(16, 16)...).Observe(uint64(p.steps))
+	rec.Counter("solver.propagation_rounds").Add(uint64(p.props))
+	rec.Counter("solver.backtracks").Add(uint64(p.backtracks))
+	rec.Counter("solver.hint_hits").Add(uint64(p.hintHits))
 }
 
 func modelIfSat(r Result, p *problem) Model {
@@ -178,6 +214,11 @@ type problem struct {
 	order    []expr.VarID
 	steps    int
 	budget   int
+
+	// Telemetry tallies (flushed by Solver.record).
+	props      int // propagateCheck invocations
+	backtracks int // assignments undone
+	hintHits   int // hinted values that survived propagation
 }
 
 // newProblem normalizes constraints. Returns (nil, Unsat) for a trivially
@@ -306,6 +347,7 @@ func (p *problem) valueAt(v expr.VarID, k uint64) uint64 {
 const rangeCheckMaxFree = 6
 
 func (p *problem) propagateCheck(v expr.VarID) bool {
+	p.props++
 	for _, ci := range p.varCons[v] {
 		c := p.cons[ci]
 		if p.unVars[ci] == 0 {
@@ -329,6 +371,7 @@ func (p *problem) assignVar(v expr.VarID, val uint64) {
 }
 
 func (p *problem) unassignVar(v expr.VarID) {
+	p.backtracks++
 	delete(p.assign, v)
 	for _, ci := range p.varCons[v] {
 		p.unVars[ci]++
@@ -348,6 +391,11 @@ func (p *problem) search() searchResult {
 		val := p.valueAt(v, k)
 		p.assignVar(v, val)
 		if p.propagateCheck(v) {
+			if k == 0 && p.hint != nil {
+				if _, hinted := p.hint[v]; hinted {
+					p.hintHits++
+				}
+			}
 			switch r := p.search(); r {
 			case searchSat, searchBudget:
 				return r

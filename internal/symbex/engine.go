@@ -9,6 +9,7 @@ import (
 	"castan/internal/icfg"
 	"castan/internal/interp"
 	"castan/internal/ir"
+	"castan/internal/obs"
 	"castan/internal/solver"
 )
 
@@ -34,6 +35,9 @@ type Config struct {
 	// SolverSteps is the per-query budget for full feasibility checks
 	// (local repair handles the common cases first). Defaults to 40000.
 	SolverSteps int
+	// LocalSolverSteps is the per-query budget for localRepair's small
+	// substituted problems. Defaults to 20000.
+	LocalSolverSteps int
 	// KeepBest is how many completed states to retain. Defaults to 8.
 	KeepBest int
 	// StopAfterDone halts exploration once this many states have consumed
@@ -63,6 +67,9 @@ func (c *Config) fill() {
 	}
 	if c.SolverSteps <= 0 {
 		c.SolverSteps = 8000
+	}
+	if c.LocalSolverSteps <= 0 {
+		c.LocalSolverSteps = 20000
 	}
 	if c.KeepBest <= 0 {
 		c.KeepBest = 8
@@ -95,6 +102,12 @@ type Engine struct {
 	// Trace, when non-nil, receives search events ("pop", "done", "trap",
 	// "fork") for debugging and tests.
 	Trace func(event string, s *State)
+
+	// Obs, when non-nil, receives search telemetry: instruction steps,
+	// forks, state-queue depth, path-constraint sizes, and (through the
+	// engine's solvers) per-query solver effort. The engine runs on one
+	// goroutine, so all readings are deterministic.
+	Obs *obs.Recorder
 
 	sol      solver.Solver
 	nextID   int
@@ -140,6 +153,14 @@ func (e *Engine) havocVarBase() expr.VarID {
 	return expr.VarID(e.Cfg.NPackets * e.Cfg.PacketLen)
 }
 
+// newSolver is the single place engine solvers are configured: every
+// solver the engine creates (the full-check solver and localRepair's
+// per-problem solvers) carries the engine's recorder and an explicit
+// step budget. Call only after Cfg.fill has run.
+func (e *Engine) newSolver(maxSteps int) solver.Solver {
+	return solver.Solver{MaxSteps: maxSteps, Obs: e.Obs}
+}
+
 // Run explores the NF and returns the best adversarial states found.
 func (e *Engine) Run() (*Result, error) {
 	e.Cfg.fill()
@@ -150,7 +171,7 @@ func (e *Engine) Run() (*Result, error) {
 	if entry.NumParams != 2 {
 		return nil, fmt.Errorf("symbex: entry %q must take (pktAddr, pktLen)", e.Cfg.Entry)
 	}
-	e.sol = solver.Solver{MaxSteps: e.Cfg.SolverSteps}
+	e.sol = e.newSolver(e.Cfg.SolverSteps)
 
 	init := &State{
 		ID:           e.nextID,
@@ -169,10 +190,22 @@ func (e *Engine) Run() (*Result, error) {
 	heap.Init(&pq)
 	heap.Push(&pq, init)
 
+	// Instruments are looked up once; all of them no-op when e.Obs is nil.
+	var (
+		cPops     = e.Obs.Counter("symbex.state_pops")
+		cInstrs   = e.Obs.Counter("symbex.instructions")
+		cDone     = e.Obs.Counter("symbex.done_states")
+		cTrapped  = e.Obs.Counter("symbex.trapped_states")
+		gQueue    = e.Obs.Gauge("symbex.queue_depth")
+		hPathCons = e.Obs.Histogram("symbex.path_constraints", obs.ExpBuckets(4, 14)...)
+	)
+
 	var completed []*State
 	done := 0
 	for pq.Len() > 0 && e.explored < e.Cfg.MaxStates && done < e.Cfg.StopAfterDone {
 		s := heap.Pop(&pq).(*State)
+		cPops.Inc()
+		gQueue.Set(uint64(pq.Len()))
 		if e.Trace != nil {
 			e.Trace("pop", s)
 		}
@@ -185,7 +218,9 @@ func (e *Engine) Run() (*Result, error) {
 			if e.explored >= e.Cfg.MaxStates {
 				break
 			}
+			instrsBefore := s.Instrs
 			forks := e.step(s, entry)
+			cInstrs.Add(s.Instrs - instrsBefore)
 			for _, f := range forks {
 				heap.Push(&pq, f)
 			}
@@ -199,6 +234,8 @@ func (e *Engine) Run() (*Result, error) {
 		}
 		if s.Done {
 			done++
+			cDone.Inc()
+			hPathCons.Observe(uint64(len(s.constraints)))
 			if e.Trace != nil {
 				e.Trace("done", s)
 			}
@@ -206,6 +243,7 @@ func (e *Engine) Run() (*Result, error) {
 			continue
 		}
 		if s.trapped != nil {
+			cTrapped.Inc()
 			if e.Trace != nil {
 				e.Trace("trap", s)
 			}
@@ -213,6 +251,8 @@ func (e *Engine) Run() (*Result, error) {
 		}
 		heap.Push(&pq, s)
 	}
+	e.Obs.Counter("symbex.states_explored").Add(uint64(e.explored))
+	e.Obs.Counter("symbex.forks").Add(uint64(e.forks))
 	res := &Result{
 		Completed:      completed,
 		StatesExplored: e.explored,
@@ -655,7 +695,8 @@ func (e *Engine) localRepair(s *State, c *expr.Expr, filter func(expr.VarID) boo
 	}
 	collectFixed(c)
 	local = append(local, c.Substitute(fixed))
-	sol := solver.Solver{MaxSteps: 20000, Hint: s.model}
+	sol := e.newSolver(e.Cfg.LocalSolverSteps)
+	sol.Hint = s.model
 	res, m := sol.Check(local)
 	if res != solver.Sat {
 		if DbgDump != nil && res == solver.Unknown {
