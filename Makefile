@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-metrics trace-smoke fmt fmt-fix vet lint irlint print-staticcheck-version check
+.PHONY: all build test race bench bench-smoke bench-metrics trace-smoke fmt fmt-fix vet lint lint-strict irlint print-staticcheck-version check
 
 # Pinned staticcheck release; CI installs exactly this version.
 STATICCHECK_VERSION = 2025.1.1
@@ -61,14 +61,24 @@ fmt-fix:
 vet:
 	$(GO) vet ./...
 
-# staticcheck is optional locally (skipped when not installed); CI pins
-# STATICCHECK_VERSION and fails on findings.
+# staticcheck is optional locally (skipped when not installed); CI runs
+# lint-strict, which installs nothing but refuses to pass without it.
 lint:
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
 		echo "staticcheck not installed; skipping (CI runs $(STATICCHECK_VERSION))"; \
 	fi
+
+# Blocking variant: a missing staticcheck is a failure, not a skip. CI
+# installs the pinned $(STATICCHECK_VERSION) first and then runs this.
+lint-strict:
+	@command -v staticcheck >/dev/null 2>&1 || { \
+		echo "staticcheck $(STATICCHECK_VERSION) required:"; \
+		echo "  go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)"; \
+		exit 1; \
+	}
+	staticcheck ./...
 
 # The IR static-analysis gate: every built-in NF module must lint clean.
 irlint:

@@ -44,6 +44,13 @@ type row struct {
 	Seconds  float64           `json:"seconds,omitempty"`
 	Phases   []obs.Phase       `json:"phases,omitempty"`
 	Counters map[string]uint64 `json:"counters,omitempty"`
+	// Searcher efficiency: state pops until the path that ends up worst
+	// completes, with the static-cost priority component on (the default
+	// pipeline) and off (a second, ablated run). StaticCostBound is the
+	// abstract cache analysis's worst-case cycle bound for the workload.
+	StepsToWorst         int    `json:"steps_to_worst,omitempty"`
+	StepsToWorstBaseline int    `json:"steps_to_worst_baseline,omitempty"`
+	StaticCostBound      uint64 `json:"static_cost_bound,omitempty"`
 }
 
 type report struct {
@@ -96,10 +103,27 @@ func main() {
 		for _, c := range coreCounters {
 			r.Counters[c] = res.Telemetry.Counters[c]
 		}
+		r.StepsToWorst = res.StepsToWorstPath
+		r.StaticCostBound = res.StaticCostBound
+
+		// Ablated rerun on a fresh instance: same budgets, static-cost
+		// priority off, to record how many extra pops the baseline needs.
+		if base, err := nf.New(name); err == nil {
+			bres, err := castan.Analyze(base, memsim.New(memsim.DefaultGeometry(), *seed), castan.Config{
+				NPackets:     *packets,
+				MaxStates:    *states,
+				Seed:         *seed,
+				NoStaticCost: true,
+			})
+			if err == nil {
+				r.StepsToWorstBaseline = bres.StepsToWorstPath
+			}
+		}
 		rep.Rows = append(rep.Rows, r)
-		fmt.Printf("%-12s %6.2fs  %d states, %d solver queries, %d DRAM misses\n",
+		fmt.Printf("%-12s %6.2fs  %d states, %d solver queries, %d DRAM misses, worst path in %d pops (baseline %d)\n",
 			name, r.Seconds, r.Counters["symbex.states_explored"],
-			r.Counters["solver.queries"], r.Counters["memsim.dram_misses"])
+			r.Counters["solver.queries"], r.Counters["memsim.dram_misses"],
+			r.StepsToWorst, r.StepsToWorstBaseline)
 	}
 	f, err := os.Create(*out)
 	if err != nil {

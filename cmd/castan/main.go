@@ -133,6 +133,10 @@ func main() {
 		res.HavocsReconciled, res.HavocsTotal)
 	fmt.Printf("predicted path: %d instrs, %d loads, %d stores, %d expected DRAM trips\n",
 		res.Instrs, res.Loads, res.Stores, res.ExpectDRAM)
+	if res.StaticCostBound > 0 {
+		fmt.Printf("static worst-case bound: %d cycles for %d packets (worst path after %d state pops)\n",
+			res.StaticCostBound, len(res.Frames), res.StepsToWorstPath)
+	}
 	for i, pm := range res.Packets {
 		fmt.Printf("  packet %2d: %5d predicted cycles\n", i, pm.Cycles)
 	}

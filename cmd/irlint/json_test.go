@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"castan/internal/ir"
+	"castan/internal/nf"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestJSONGolden pins the -json output for the whole example-NF catalog.
+// The document is deterministic (modules in catalog order, functions
+// sorted), so any change to the lint findings, the cache classification,
+// or the static bounds shows up as a golden diff here.
+func TestJSONGolden(t *testing.T) {
+	var mods []*ir.Module
+	for _, name := range nf.Names {
+		inst, err := nf.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mods = append(mods, inst.Mod)
+	}
+	var buf bytes.Buffer
+	if code := run(mods, false, false, true, &buf); code != 0 {
+		t.Fatalf("catalog should pass, got exit %d:\n%s", code, buf.String())
+	}
+
+	golden := filepath.Join("testdata", "catalog.json.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("-json output drifted from %s (run with -update to regenerate)\ngot:\n%s", golden, buf.String())
+	}
+}
+
+// TestJSONShape decodes the -json document and checks the invariants the
+// schema promises: every catalog module present, zero errors, cachecost
+// stats internally consistent, and at least one function across the
+// catalog with a finite static bound and a nonzero always-hit count.
+func TestJSONShape(t *testing.T) {
+	var mods []*ir.Module
+	for _, name := range nf.Names {
+		inst, err := nf.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mods = append(mods, inst.Mod)
+	}
+	var buf bytes.Buffer
+	if code := run(mods, false, false, true, &buf); code != 0 {
+		t.Fatalf("catalog should pass, got exit %d:\n%s", code, buf.String())
+	}
+	var doc jsonDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if doc.Schema != "castan-irlint/v1" {
+		t.Fatalf("schema = %q", doc.Schema)
+	}
+	if len(doc.Modules) != len(nf.Names) {
+		t.Fatalf("got %d modules, want %d", len(doc.Modules), len(nf.Names))
+	}
+	anyHit, anyBound := false, false
+	for i, jm := range doc.Modules {
+		if jm.Module != nf.Names[i] {
+			t.Errorf("module %d = %q, want %q", i, jm.Module, nf.Names[i])
+		}
+		if jm.Errors != 0 {
+			t.Errorf("%s: %d errors in a passing catalog", jm.Module, jm.Errors)
+		}
+		if len(jm.CacheCost.Functions) == 0 {
+			t.Errorf("%s: no cachecost functions", jm.Module)
+		}
+		for _, jf := range jm.CacheCost.Functions {
+			if jf.AlwaysHit+jf.AlwaysMiss+jf.Unclassified != jf.MemInstrs {
+				t.Errorf("%s/%s: classes %d+%d+%d != mem_instrs %d", jm.Module, jf.Fn,
+					jf.AlwaysHit, jf.AlwaysMiss, jf.Unclassified, jf.MemInstrs)
+			}
+			if jf.UnclassifiedRatio < 0 || jf.UnclassifiedRatio > 1 {
+				t.Errorf("%s/%s: unclassified_ratio %v out of range", jm.Module, jf.Fn, jf.UnclassifiedRatio)
+			}
+			if jf.AlwaysHit > 0 {
+				anyHit = true
+			}
+			if jf.StaticBound > 0 {
+				anyBound = true
+			}
+		}
+	}
+	if !anyHit {
+		t.Error("no always-hit classification anywhere in the catalog (analysis is vacuous)")
+	}
+	if !anyBound {
+		t.Error("no finite static bound anywhere in the catalog")
+	}
+}

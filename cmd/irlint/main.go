@@ -8,18 +8,27 @@
 //	irlint lpm-trie    # lint selected NFs
 //	irlint -v          # also print info-level findings (dead defs)
 //	irlint -werror     # treat warnings as failures
+//	irlint -json       # machine-readable output (includes cachecost stats)
+//
+// With -json the output is a single castan-irlint/v1 document: per module,
+// the findings plus the abstract cache analysis's classification summary
+// (always-hit / always-miss / unclassified counts and the unclassified
+// ratio per function).
 //
 // Exit status is non-zero iff any module produced an error-level finding
 // (or, with -werror, a warning).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"castan/internal/analysis"
+	"castan/internal/analysis/cachecost"
 	"castan/internal/ir"
 	"castan/internal/nf"
 )
@@ -27,6 +36,7 @@ import (
 func main() {
 	verbose := flag.Bool("v", false, "print info-level findings too")
 	werror := flag.Bool("werror", false, "treat warnings as errors")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (castan-irlint/v1)")
 	flag.Parse()
 
 	names := flag.Args()
@@ -42,24 +52,71 @@ func main() {
 		}
 		mods = append(mods, inst.Mod)
 	}
-	os.Exit(run(mods, *verbose, *werror, os.Stdout))
+	os.Exit(run(mods, *verbose, *werror, *jsonOut, os.Stdout))
+}
+
+// jsonDoc is the -json output: one castan-irlint/v1 document.
+type jsonDoc struct {
+	Schema  string       `json:"schema"`
+	Modules []jsonModule `json:"modules"`
+}
+
+type jsonModule struct {
+	Module    string        `json:"module"`
+	Errors    int           `json:"errors"`
+	Warnings  int           `json:"warnings"`
+	Findings  []jsonFinding `json:"findings"`
+	CacheCost jsonCacheCost `json:"cachecost"`
+}
+
+type jsonFinding struct {
+	Sev  string `json:"sev"`
+	Pass string `json:"pass"`
+	Ref  string `json:"ref"`
+	Msg  string `json:"msg"`
+}
+
+type jsonCacheCost struct {
+	Geometry  jsonGeometry   `json:"geometry"`
+	Functions []jsonFuncCost `json:"functions"`
+}
+
+type jsonGeometry struct {
+	Ways      int `json:"ways"`
+	LineBytes int `json:"line_bytes"`
+}
+
+type jsonFuncCost struct {
+	Fn                string  `json:"fn"`
+	MemInstrs         int     `json:"mem_instrs"`
+	AlwaysHit         int     `json:"always_hit"`
+	AlwaysMiss        int     `json:"always_miss"`
+	Unclassified      int     `json:"unclassified"`
+	UnclassifiedRatio float64 `json:"unclassified_ratio"`
+	// StaticBound is the whole-function worst-case cycle bound; absent
+	// when a data-dependent loop leaves the function unbounded.
+	StaticBound uint64 `json:"static_bound,omitempty"`
+	AcyclicPath uint64 `json:"acyclic_path_bound"`
 }
 
 // run lints each module in turn and returns the process exit code: 1 if
 // any module has an error-level finding (or a warning under werror),
 // 0 otherwise.
-func run(mods []*ir.Module, verbose, werror bool, w io.Writer) int {
+func run(mods []*ir.Module, verbose, werror, jsonOut bool, w io.Writer) int {
 	minSev := analysis.SevWarn
 	if verbose {
 		minSev = analysis.SevInfo
 	}
+	doc := jsonDoc{Schema: "castan-irlint/v1"}
 	failed := false
 	for _, mod := range mods {
 		rep := analysis.Lint(mod, analysis.Options{
 			EntryHints: analysis.NFEntryHints(),
 			NoDeadDefs: !verbose,
 		})
-		if err := rep.Write(w, minSev); err != nil {
+		if jsonOut {
+			doc.Modules = append(doc.Modules, jsonify(mod, rep, minSev))
+		} else if err := rep.Write(w, minSev); err != nil {
 			fmt.Fprintf(os.Stderr, "irlint: %v\n", err)
 			return 2
 		}
@@ -67,8 +124,70 @@ func run(mods []*ir.Module, verbose, werror bool, w io.Writer) int {
 			failed = true
 		}
 	}
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintf(os.Stderr, "irlint: %v\n", err)
+			return 2
+		}
+	}
 	if failed {
 		return 1
 	}
 	return 0
+}
+
+// jsonify packages one module's report plus its cache-classification
+// summary. The cache analysis runs at the default geometry (the simulated
+// L3's associativity and line size) with no contention-set model — the
+// most conservative classification, which is the right baseline for a
+// lint gate.
+func jsonify(mod *ir.Module, rep *analysis.Report, minSev analysis.Severity) jsonModule {
+	jm := jsonModule{
+		Module:   rep.Module,
+		Errors:   rep.Count(analysis.SevError),
+		Warnings: rep.Count(analysis.SevWarn),
+		Findings: []jsonFinding{},
+	}
+	for _, f := range rep.Findings {
+		if f.Sev > minSev {
+			continue
+		}
+		jm.Findings = append(jm.Findings, jsonFinding{
+			Sev:  f.Sev.String(),
+			Pass: f.Pass,
+			Ref:  f.Ref(),
+			Msg:  f.Msg,
+		})
+	}
+	geo := cachecost.DefaultGeometry()
+	jm.CacheCost.Geometry = jsonGeometry{Ways: geo.Ways, LineBytes: geo.LineBytes}
+	jm.CacheCost.Functions = []jsonFuncCost{}
+	if jm.Errors > 0 {
+		// A structurally broken module would feed garbage to the abstract
+		// interpreter; findings alone are the story here.
+		return jm
+	}
+	mf := analysis.ForModule(mod)
+	mr := analysis.RunMemRegions(mf, analysis.NFEntryHints())
+	cc := cachecost.Run(mf, mr, cachecost.Config{Geometry: geo})
+	for _, name := range cc.FuncNames() {
+		f := mod.Funcs[name]
+		st := cc.FuncStats(f)
+		jf := jsonFuncCost{
+			Fn:                name,
+			MemInstrs:         st.Mem,
+			AlwaysHit:         st.AlwaysHit,
+			AlwaysMiss:        st.AlwaysMiss,
+			Unclassified:      st.Unclassified,
+			UnclassifiedRatio: math.Round(st.UnclassifiedRatio()*10000) / 10000,
+			AcyclicPath:       cc.AcyclicPathBound(f),
+		}
+		if b, ok := cc.FuncBound(f); ok {
+			jf.StaticBound = b
+		}
+		jm.CacheCost.Functions = append(jm.CacheCost.Functions, jf)
+	}
+	return jm
 }

@@ -1,0 +1,55 @@
+package cachecost
+
+import (
+	"fmt"
+
+	"castan/internal/interp"
+	"castan/internal/ir"
+	"castan/internal/memsim"
+)
+
+// CrossCheck replays a synthesized workload (frames are raw packet
+// bytes, fed one nf_process-style call each) on the simulated hierarchy
+// and fails, sanitizer-style, if any instruction the analysis classified
+// always-hit ever reaches DRAM. The machine must be the one the analyzed
+// module belongs to (classifications are keyed by instruction identity);
+// its hooks are saved and restored, but its memory mutates as the replay
+// runs, exactly as a real measurement would. The caches stay warm across
+// frames — must-facts hold for any initial cache state, so a warm replay
+// is the stronger check.
+func CrossCheck(a *Analysis, mach *interp.Machine, hier *memsim.Hierarchy, entry string, frames [][]byte) error {
+	saved := mach.Hooks
+	defer func() { mach.Hooks = saved }()
+
+	var cur *ir.Instr
+	var violation error
+	mach.Hooks = interp.Hooks{
+		OnInstr: func(_ *ir.Func, in *ir.Instr) { cur = in },
+		OnMem: func(ma interp.MemAccess) {
+			lvl, _ := hier.Access(ma.Addr, ma.Size, ma.IsWrite)
+			if violation != nil || cur == nil || lvl != memsim.DRAM {
+				return
+			}
+			// OnMem events of an OpHavoc key read are attributed to the
+			// havoc instruction, which is never classified.
+			if (cur.Op == ir.OpLoad || cur.Op == ir.OpStore) && a.class[cur] == AlwaysHit {
+				violation = fmt.Errorf(
+					"cachecost: always-hit %s at %s missed to DRAM (addr %#x, size %d)",
+					cur.Op, a.refs[cur], ma.Addr, ma.Size)
+			}
+		},
+	}
+
+	for i, frame := range frames {
+		cur = nil
+		hier.InjectPacket(ir.PacketBase, len(frame))
+		mach.Mem.WriteBytes(ir.PacketBase, frame)
+		if _, err := mach.Call(entry, ir.PacketBase, uint64(len(frame))); err != nil {
+			return fmt.Errorf("cachecost: crosscheck frame %d: %w", i, err)
+		}
+		if violation != nil {
+			return fmt.Errorf("frame %d: %w", i, violation)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package cachecost
+
+import (
+	"math/rand"
+	"testing"
+
+	"castan/internal/analysis"
+	"castan/internal/interp"
+	"castan/internal/ir"
+	"castan/internal/memsim"
+)
+
+// genModule builds a random small NF-shaped module: a few globals, and an
+// nf_process mixing constant-address loads/stores, interval-address loads
+// (masked indices), bounded loops, branches on loaded data, and the
+// occasional havoc. Every loop is counted, so execution always
+// terminates.
+func genModule(r *rand.Rand) *ir.Module {
+	m := ir.NewModule("prop")
+	nglob := 1 + r.Intn(3)
+	globals := make([]*ir.Global, nglob)
+	for i := range globals {
+		size := uint64(64 * (1 + r.Intn(8))) // 64..512 bytes
+		globals[i] = m.AddGlobal(string(rune('a'+i)), size, 64)
+	}
+	hid := m.AddHash("h", 16, func(b []byte) uint64 {
+		var s uint64 = 14695981039346656037
+		for _, c := range b {
+			s = (s ^ uint64(c)) * 1099511628211
+		}
+		return s
+	})
+	m.Layout()
+
+	fb := m.NewFunc("nf_process", 2)
+	pkt := fb.Param(0)
+	acc := fb.VarImm(0)
+
+	var stmt func(depth int)
+	stmt = func(depth int) {
+		g := globals[r.Intn(nglob)]
+		base := fb.GlobalAddr(g)
+		switch r.Intn(8) {
+		case 0, 1: // constant-address global load (sometimes repeated)
+			off := uint64(r.Intn(int(g.Size-8))) &^ 7
+			acc.Set(fb.Add(acc.R(), fb.Load(base, off, 8)))
+			if r.Intn(2) == 0 {
+				acc.Set(fb.Add(acc.R(), fb.Load(base, off, 8)))
+			}
+		case 2: // constant-address global store
+			off := uint64(r.Intn(int(g.Size-8))) &^ 7
+			fb.Store(base, off, acc.R(), 8)
+		case 3: // packet byte load
+			off := uint64(r.Intn(34))
+			acc.Set(fb.Add(acc.R(), fb.Load(pkt, off, 1)))
+		case 4: // interval-address load: masked data-dependent index
+			mask := (g.Size - 1) &^ 7
+			idx := fb.AndImm(acc.R(), mask)
+			acc.Set(fb.Add(acc.R(), fb.Load(fb.Add(base, idx), 0, 8)))
+		case 5: // counted loop
+			if depth >= 2 {
+				return
+			}
+			trip := uint64(2 + r.Intn(3))
+			i := fb.VarImm(0)
+			fb.While(func() ir.Reg { return fb.CmpUlt(i.R(), fb.Const(trip)) }, func() {
+				stmt(depth + 1)
+				i.Set(fb.AddImm(i.R(), 1))
+			})
+		case 6: // branch on accumulated data
+			if depth >= 3 {
+				return
+			}
+			cond := fb.CmpUlt(fb.AndImm(acc.R(), 0xff), fb.Const(uint64(r.Intn(256))))
+			fb.If(cond, func() { stmt(depth + 1) }, func() { stmt(depth + 1) })
+		case 7: // havoc over a global prefix
+			acc.Set(fb.Havoc(hid, base, 8))
+		}
+	}
+	n := 3 + r.Intn(8)
+	for s := 0; s < n; s++ {
+		stmt(0)
+	}
+	fb.Ret(acc.R())
+	fb.Seal()
+	return m
+}
+
+// TestMustSoundnessRandomModules is the soundness gate for the must
+// analysis: across random modules and random warm replays on the
+// simulated hierarchy (TinyGeometry, whose L3 has 4 ways — matching the
+// analysis geometry), no instruction classified always-hit may ever reach
+// DRAM. The hierarchy stays warm across packets, which is exactly the
+// regime the entry-age/no-refresh design has to survive.
+func TestMustSoundnessRandomModules(t *testing.T) {
+	iters := 60
+	if testing.Short() {
+		iters = 12
+	}
+	hits := 0
+	for seed := 0; seed < iters; seed++ {
+		r := rand.New(rand.NewSource(int64(seed)))
+		m := genModule(r)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("seed %d: validate: %v", seed, err)
+		}
+		mf := analysis.ForModule(m)
+		mr := analysis.RunMemRegions(mf, analysis.NFEntryHints())
+		a := Run(mf, mr, Config{Geometry: Geometry{Ways: 4, LineBytes: 64}})
+		for _, cl := range a.class {
+			if cl == AlwaysHit {
+				hits++
+			}
+		}
+
+		mach := interp.NewMachine(m)
+		hier := memsim.New(memsim.TinyGeometry(), uint64(seed)*7919+1)
+		frames := make([][]byte, 4+r.Intn(4))
+		for i := range frames {
+			f := make([]byte, 42)
+			r.Read(f)
+			frames[i] = f
+		}
+		if err := CrossCheck(a, mach, hier, "nf_process", frames); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+	if hits == 0 {
+		t.Error("no always-hit classifications across all random modules; property test is vacuous")
+	}
+}

@@ -53,6 +53,11 @@ func (m *Model) SetOf(lineAddr uint64) int {
 	return -1
 }
 
+// Reindex rebuilds the address index after the Sets have been assembled
+// or edited by hand (Discover and the persistence loader call it
+// themselves).
+func (m *Model) Reindex() { m.buildIndex() }
+
 // buildIndex (re)builds the address index.
 func (m *Model) buildIndex() {
 	m.setOf = make(map[uint64]int)

@@ -1,0 +1,88 @@
+package castan
+
+import (
+	"math/rand"
+	"testing"
+
+	"castan/internal/analysis"
+	"castan/internal/analysis/cachecost"
+	"castan/internal/memsim"
+	"castan/internal/nf"
+	"castan/internal/packet"
+)
+
+// TestCrossCheckCatalog extends the must-soundness gate from random
+// modules to every catalog NF: the analysis classifies the real NFs'
+// memory instructions, and a warm memsim replay of varied traffic must
+// never see an always-hit instruction reach DRAM.
+func TestCrossCheckCatalog(t *testing.T) {
+	names := nf.Names
+	if testing.Short() {
+		names = []string{"lb-chain", "lpm-dl1", "nat-ring"}
+	}
+	geo := memsim.DefaultGeometry()
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			inst, err := nf.New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mf := analysis.ForModule(inst.Mod)
+			mr := analysis.RunMemRegions(mf, analysis.NFEntryHints())
+			cc := cachecost.Run(mf, mr, cachecost.Config{
+				Geometry: cachecost.Geometry{Ways: geo.L3Assoc(), LineBytes: geo.LineBytes},
+			})
+			hit := false
+			for _, fn := range cc.FuncNames() {
+				if cc.FuncStats(inst.Mod.Funcs[fn]).AlwaysHit > 0 {
+					hit = true
+				}
+			}
+			_ = hit // some NFs legitimately have none; the catalog check below is the gate
+
+			r := rand.New(rand.NewSource(7))
+			frames := make([][]byte, 16)
+			for i := range frames {
+				frames[i] = packet.Build(packet.Spec{
+					Proto:   packet.ProtoUDP,
+					SrcIP:   r.Uint32(),
+					DstIP:   r.Uint32(),
+					SrcPort: uint16(r.Uint32()),
+					DstPort: uint16(r.Uint32()),
+				})
+			}
+			hier := memsim.New(geo, 99)
+			if err := cachecost.CrossCheck(cc, inst.Machine, hier, "nf_process", frames); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestStaticPriorityStepsRegression pins the searcher-efficiency
+// acceptance criterion: with the static-cost priority component, the
+// searcher must reach the path that ends up best in no more state pops
+// than the baseline searcher (icfg potential only), for every example NF.
+func TestStaticPriorityStepsRegression(t *testing.T) {
+	names := nf.Names
+	if testing.Short() {
+		names = []string{"lb-chain", "lpm-dl1", "lpm-trie"}
+	}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			cfg := Config{NPackets: 6, MaxStates: 2000, Seed: 1}
+			base := cfg
+			base.NoStaticCost = true
+			with := analyze(t, name, cfg)
+			without := analyze(t, name, base)
+			if with.StepsToWorstPath == 0 || without.StepsToWorstPath == 0 {
+				t.Fatalf("steps-to-worst-path not recorded: with=%d without=%d",
+					with.StepsToWorstPath, without.StepsToWorstPath)
+			}
+			if with.StepsToWorstPath > without.StepsToWorstPath {
+				t.Errorf("static priority needed %d pops to the worst path, baseline %d",
+					with.StepsToWorstPath, without.StepsToWorstPath)
+			}
+		})
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"castan/internal/analysis"
+	"castan/internal/analysis/cachecost"
 	"castan/internal/cachemodel"
 	"castan/internal/expr"
 	"castan/internal/icfg"
@@ -60,6 +61,10 @@ type Config struct {
 	CacheModel *cachemodel.Model
 	// NoRainbow disables havoc reconciliation (ablation).
 	NoRainbow bool
+	// NoStaticCost disables the abstract cache analysis: no static
+	// worst-case bound, no static priority component in the searcher, and
+	// no memsim cross-check of the synthesized workload (ablation).
+	NoStaticCost bool
 	// RainbowCoverage multiplies the default table size. Default 8.
 	RainbowCoverage int
 	// MaxLoopIters caps symbolic loop unrolling per state.
@@ -136,6 +141,13 @@ type Output struct {
 	StaticHavocSites int
 	// ContentionSetsFound is the discovery result size (0 = no model).
 	ContentionSetsFound int
+	// StaticCostBound is the abstract cache analysis's worst-case cycle
+	// bound for the whole synthesized workload (0 when the analysis is
+	// disabled or the NF has no static bound).
+	StaticCostBound uint64
+	// StepsToWorstPath is how many state pops the searcher needed before
+	// the state that ended up best completed.
+	StepsToWorstPath int
 	// StatesExplored, Forks and AnalysisTime describe the effort (Table 4).
 	StatesExplored int
 	Forks          int
@@ -199,6 +211,25 @@ func Analyze(inst *nf.Instance, hier *memsim.Hierarchy, cfg Config) (*Output, er
 	spDiscover.End()
 	rec.Counter("castan.contention_sets").Add(uint64(modelSets(model)))
 
+	// Stage 1.5: abstract cache analysis. The must/may fixpoint classifies
+	// every load/store (always-hit accesses cost MemL1, everything else is
+	// priced at a miss) and the loop forest's trip bounds turn that into
+	// static worst-case cost bounds the searcher can use as an admissible
+	// priority component. The discovered model refines the conflict
+	// relation: lines in different contention sets provably don't evict
+	// each other.
+	var cc *cachecost.Analysis
+	if !cfg.NoStaticCost {
+		spCache := root.Child("castan.cachecost")
+		geo := hier.Geometry()
+		cc = cachecost.Run(mf, mr, cachecost.Config{
+			Geometry: cachecost.Geometry{Ways: geo.L3Assoc(), LineBytes: geo.LineBytes},
+			Model:    model,
+			Obs:      rec,
+		})
+		spCache.End()
+	}
+
 	// Stage 2: directed symbolic execution. Realized costs use the
 	// realistic model; the search heuristic uses an optimistic one
 	// (memory at DRAM latency, loops assumed to run as often as there are
@@ -221,6 +252,7 @@ func Analyze(inst *nf.Instance, hier *memsim.Hierarchy, cfg Config) (*Output, er
 		Mod:               inst.Mod,
 		Analysis:          an,
 		PotentialAnalysis: potAn,
+		StaticCost:        cc,
 		Model:             model,
 		Base:              inst.Machine.Mem,
 		HeapTop:           ir.HeapBase + inst.Machine.HeapUsed(),
@@ -256,8 +288,27 @@ func Analyze(inst *nf.Instance, hier *memsim.Hierarchy, cfg Config) (*Output, er
 		out.ContentionSetsFound = modelSets(model)
 		out.StatesExplored = res.StatesExplored
 		out.Forks = res.Forks
+		out.StepsToWorstPath = res.PopsToBest
 		out.LintWarnings = rep.Count(analysis.SevWarn)
 		out.StaticHavocSites = len(staticSites)
+		if cc != nil {
+			if b, ok := cc.WorkloadBound("nf_process", cfg.NPackets); ok {
+				out.StaticCostBound = b
+			}
+			// Sanitizer gate: replay the synthesized workload on a fresh
+			// simulated hierarchy and fail loudly if any instruction the
+			// analysis classified always-hit ever reaches DRAM. A fresh
+			// hierarchy (same geometry, same seed) keeps the probing
+			// hierarchy's cache state and telemetry untouched.
+			spCheck := root.Child("castan.crosscheck")
+			ccErr := cachecost.CrossCheck(cc, inst.Machine,
+				memsim.New(hier.Geometry(), cfg.Seed), "nf_process", out.Frames)
+			spCheck.End()
+			if ccErr != nil {
+				return nil, fmt.Errorf("castan: static cache analysis unsound on %s: %w",
+					inst.Name, ccErr)
+			}
+		}
 		out.AnalysisTime = time.Since(start)
 		// End the spans before snapshotting so every phase is in the
 		// snapshot; Telemetry is the last field assigned.

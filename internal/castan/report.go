@@ -27,9 +27,14 @@ type Report struct {
 	HavocsTotal         int            `json:"havocs_total"`
 	HavocsReconciled    int            `json:"havocs_reconciled"`
 	ContentionSetsFound int            `json:"contention_sets_found"`
-	StatesExplored      int            `json:"states_explored"`
-	Forks               int            `json:"forks"`
-	AnalysisSeconds     float64        `json:"analysis_seconds"`
+	// StaticCostBound is the abstract cache analysis's worst-case cycle
+	// bound for the whole workload, printed next to measured cycles
+	// (0 = analysis disabled or no static bound).
+	StaticCostBound  uint64  `json:"static_cost_bound,omitempty"`
+	StepsToWorstPath int     `json:"steps_to_worst_path,omitempty"`
+	StatesExplored   int     `json:"states_explored"`
+	Forks            int     `json:"forks"`
+	AnalysisSeconds  float64 `json:"analysis_seconds"`
 	// Telemetry is the observability snapshot (absent unless the run was
 	// instrumented via Config.Obs).
 	Telemetry *obs.Metrics `json:"telemetry,omitempty"`
@@ -54,6 +59,8 @@ func (o *Output) Report() *Report {
 		HavocsTotal:         o.HavocsTotal,
 		HavocsReconciled:    o.HavocsReconciled,
 		ContentionSetsFound: o.ContentionSetsFound,
+		StaticCostBound:     o.StaticCostBound,
+		StepsToWorstPath:    o.StepsToWorstPath,
 		StatesExplored:      o.StatesExplored,
 		Forks:               o.Forks,
 		AnalysisSeconds:     o.AnalysisTime.Seconds(),

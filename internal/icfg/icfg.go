@@ -34,21 +34,26 @@ type CostModel struct {
 	Alloc  uint64
 	Havoc  uint64 // cost of computing the (havoced) hash itself
 	MemL1  uint64 // load/store when it hits L1 — the optimistic assumption
+	// MemDRAM is the full load/store latency when the access goes to
+	// DRAM; MemDRAM-MemL1 is the miss penalty consumers (symbex, the
+	// cachecost bounds) add on top of InstrCost's MemL1 pricing.
+	MemDRAM uint64
 }
 
 // DefaultCostModel mirrors rough Ivy Bridge latencies.
 func DefaultCostModel() CostModel {
 	return CostModel{
-		Arith:  1,
-		Mul:    3,
-		Div:    21,
-		Cmp:    1,
-		Mov:    1,
-		Branch: 2,
-		Call:   4,
-		Alloc:  8,
-		Havoc:  28,
-		MemL1:  4,
+		Arith:   1,
+		Mul:     3,
+		Div:     21,
+		Cmp:     1,
+		Mov:     1,
+		Branch:  2,
+		Call:    4,
+		Alloc:   8,
+		Havoc:   28,
+		MemL1:   4,
+		MemDRAM: 210,
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 
+	"castan/internal/analysis/cachecost"
 	"castan/internal/cachemodel"
 	"castan/internal/expr"
 	"castan/internal/icfg"
@@ -89,6 +90,12 @@ type Engine struct {
 	// bound) makes the searcher's first completions the highest-cost
 	// paths, which is what lets exploration stop early.
 	PotentialAnalysis *icfg.Analysis
+	// StaticCost, when set, contributes an admissible static component to
+	// the search priority: the abstract cache analysis's worst-case bound
+	// on the residual CFG. The searcher takes the max of the ICFG
+	// potential and the static bound, so states whose remaining program
+	// has a higher static worst case are explored first.
+	StaticCost *cachecost.Analysis
 	// Model is the discovered cache model; nil disables adversarial
 	// pointer concretization (costs then assume cold-miss-once).
 	Model *cachemodel.Model
@@ -113,6 +120,7 @@ type Engine struct {
 	nextID   int
 	forks    int
 	explored int
+	hStatic  *obs.Histogram
 }
 
 // Result is the outcome of an exploration.
@@ -125,6 +133,13 @@ type Result struct {
 	// StatesExplored and Forks describe the search effort.
 	StatesExplored int
 	Forks          int
+	// PopsToFirstDone is the number of state pops when the first state
+	// completed (0 if none did).
+	PopsToFirstDone int
+	// PopsToBest is the number of state pops when the state that ended up
+	// as Best completed — the searcher's steps-to-worst-path (0 if no
+	// state completed).
+	PopsToBest int
 }
 
 // stateHeap is a max-heap on Priority.
@@ -199,11 +214,15 @@ func (e *Engine) Run() (*Result, error) {
 		gQueue    = e.Obs.Gauge("symbex.queue_depth")
 		hPathCons = e.Obs.Histogram("symbex.path_constraints", obs.ExpBuckets(4, 14)...)
 	)
+	e.hStatic = e.Obs.Histogram("symbex.static_potential", obs.ExpBuckets(8, 16)...)
 
 	var completed []*State
 	done := 0
+	pops := 0
+	popsToFirstDone, popsToBest := 0, 0
 	for pq.Len() > 0 && e.explored < e.Cfg.MaxStates && done < e.Cfg.StopAfterDone {
 		s := heap.Pop(&pq).(*State)
+		pops++
 		cPops.Inc()
 		gQueue.Set(uint64(pq.Len()))
 		if e.Trace != nil {
@@ -239,7 +258,13 @@ func (e *Engine) Run() (*Result, error) {
 			if e.Trace != nil {
 				e.Trace("done", s)
 			}
+			if done == 1 {
+				popsToFirstDone = pops
+			}
 			completed = insertCompleted(completed, s, e.Cfg.KeepBest)
+			if completed[0] == s {
+				popsToBest = pops
+			}
 			continue
 		}
 		if s.trapped != nil {
@@ -254,9 +279,11 @@ func (e *Engine) Run() (*Result, error) {
 	e.Obs.Counter("symbex.states_explored").Add(uint64(e.explored))
 	e.Obs.Counter("symbex.forks").Add(uint64(e.forks))
 	res := &Result{
-		Completed:      completed,
-		StatesExplored: e.explored,
-		Forks:          e.forks,
+		Completed:       completed,
+		StatesExplored:  e.explored,
+		Forks:           e.forks,
+		PopsToFirstDone: popsToFirstDone,
+		PopsToBest:      popsToBest,
 	}
 	if len(completed) > 0 {
 		res.Best = completed[0]
@@ -302,6 +329,32 @@ func (e *Engine) potential(s *State) uint64 {
 	var p uint64
 	for _, f := range s.frames {
 		p += an.Potential(f.blk, f.pc)
+	}
+	// The static worst-case bound of the residual CFG is an upper bound on
+	// the cycles still reachable, and so is the ICFG potential — so their
+	// MIN is a tighter upper bound and the priority stays admissible
+	// (first completions still ride the worst paths). Tighter estimates
+	// mean fewer pops before the worst path completes: among states the
+	// ICFG prices identically, those whose residual program has the higher
+	// static bound keep the higher priority. A frame without a static
+	// bound (unbounded loop) leaves the ICFG estimate alone.
+	if e.StaticCost != nil {
+		var st uint64
+		bounded := true
+		for _, f := range s.frames {
+			r, ok := e.StaticCost.Residual(f.blk, f.pc)
+			if !ok {
+				bounded = false
+				break
+			}
+			st += r
+		}
+		if bounded {
+			e.hStatic.Observe(st)
+			if st < p {
+				p = st
+			}
+		}
 	}
 	return p
 }
@@ -714,40 +767,6 @@ func (e *Engine) localRepair(s *State, c *expr.Expr, filter func(expr.VarID) boo
 	return merged, solver.Sat
 }
 
-// relevantConstraints selects the conjuncts sharing variables with c,
-// expanded by one transitive hop.
-func relevantConstraints(all []*expr.Expr, c *expr.Expr) []*expr.Expr {
-	want := map[expr.VarID]bool{}
-	for _, v := range c.VarList() {
-		want[v] = true
-	}
-	var out []*expr.Expr
-	used := make([]bool, len(all))
-	for hop := 0; hop < 2; hop++ {
-		for i, pc := range all {
-			if used[i] {
-				continue
-			}
-			vs := pc.VarList()
-			hit := false
-			for _, v := range vs {
-				if want[v] {
-					hit = true
-					break
-				}
-			}
-			if hit {
-				used[i] = true
-				out = append(out, pc)
-				for _, v := range vs {
-					want[v] = true
-				}
-			}
-		}
-	}
-	return out
-}
-
 // resolveAddr turns a (possibly symbolic) address expression into a
 // concrete address, implementing §3.3: prefer candidates in the currently
 // most-contended contention set, then lines already hot on this path
@@ -797,7 +816,7 @@ func (e *Engine) memCost(s *State, addr uint64) uint64 {
 	if s.tracker != nil {
 		if s.tracker.RecordAccess(addr) {
 			s.ExpectDRAM++
-			return e.Analysis.Cost.MemL1 + 206 // DRAM latency delta
+			return e.Analysis.Cost.MemDRAM
 		}
 		s.ExpectHit++
 		return e.Analysis.Cost.MemL1
