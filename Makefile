@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-metrics trace-smoke fmt fmt-fix vet lint lint-strict irlint print-staticcheck-version check
+.PHONY: all build test race bench bench-smoke bench-metrics trace-smoke fault-smoke fmt fmt-fix vet lint lint-strict irlint print-staticcheck-version check
 
 # Pinned staticcheck release; CI installs exactly this version.
 STATICCHECK_VERSION = 2025.1.1
@@ -48,6 +48,26 @@ trace-smoke:
 	$(GO) run ./cmd/tracecheck -trace $(TRACE_SMOKE_DIR)/trace.json \
 		-metrics $(TRACE_SMOKE_DIR)/metrics.json \
 		-require solver.queries,memsim.dram_misses,symbex.states_explored
+
+# Robustness smoke (what CI runs): the fault-injection matrix over the
+# whole NF catalog, then two cmd/castan runs under a deliberately tiny
+# tick budget — each must exit 3 (degraded, not failed) and still write a
+# schema-valid report that records the degradations and the tick account.
+# CI overrides FAULT_SMOKE_DIR to a workspace dir and uploads it.
+FAULT_SMOKE_DIR ?= /tmp/castan-fault-smoke
+fault-smoke:
+	mkdir -p $(FAULT_SMOKE_DIR)
+	$(GO) test ./internal/castan/ -run TestFaultMatrix -count=1
+	$(GO) build -o $(FAULT_SMOKE_DIR)/castan ./cmd/castan
+	@set -e; for n in lpm-trie lb-chain; do \
+		echo "== $$n under -budget 2000: expecting exit 3 (degraded)"; \
+		code=0; $(FAULT_SMOKE_DIR)/castan -nf $$n -packets 4 -states 2000 -budget 2000 \
+			-out $(FAULT_SMOKE_DIR)/$$n.pcap \
+			-report $(FAULT_SMOKE_DIR)/$$n-report.json || code=$$?; \
+		if [ "$$code" -ne 3 ]; then echo "want exit 3, got $$code"; exit 1; fi; \
+		$(GO) run ./cmd/reportcheck -report $(FAULT_SMOKE_DIR)/$$n-report.json \
+			-nf $$n -require-degraded; \
+	done
 
 fmt:
 	@out="$$(gofmt -l .)"; \

@@ -19,6 +19,7 @@ import (
 	"os"
 	"strings"
 
+	"castan/internal/budget"
 	"castan/internal/castan"
 	"castan/internal/memsim"
 	"castan/internal/nf"
@@ -51,6 +52,13 @@ type row struct {
 	StepsToWorst         int    `json:"steps_to_worst,omitempty"`
 	StepsToWorstBaseline int    `json:"steps_to_worst_baseline,omitempty"`
 	StaticCostBound      uint64 `json:"static_cost_bound,omitempty"`
+	// Degraded flags runs that hit a budget or fault fallback (always
+	// false here — benchmetrics runs with an unlimited counting meter —
+	// but recorded so regressions that start degrading are visible).
+	// BudgetTicksUsed is the run's deterministic tick total: the stable
+	// effort column performance PRs should diff first.
+	Degraded        bool   `json:"degraded"`
+	BudgetTicksUsed uint64 `json:"budget_ticks_used"`
 }
 
 type report struct {
@@ -86,11 +94,15 @@ func main() {
 		}
 		rec := obs.New(nil)
 		hier := memsim.New(memsim.DefaultGeometry(), *seed)
+		// An unlimited meter never cuts anything; it only counts, giving
+		// each row its deterministic tick total.
+		meter := budget.New(0)
 		res, err := castan.Analyze(inst, hier, castan.Config{
 			NPackets:  *packets,
 			MaxStates: *states,
 			Seed:      *seed,
 			Obs:       rec,
+			Budget:    meter,
 		})
 		if err != nil {
 			r.Error = err.Error()
@@ -105,6 +117,8 @@ func main() {
 		}
 		r.StepsToWorst = res.StepsToWorstPath
 		r.StaticCostBound = res.StaticCostBound
+		r.Degraded = res.Degraded()
+		r.BudgetTicksUsed = res.BudgetTicksUsed
 
 		// Ablated rerun on a fresh instance: same budgets, static-cost
 		// priority off, to record how many extra pops the baseline needs.

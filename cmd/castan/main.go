@@ -6,6 +6,10 @@
 // Usage:
 //
 //	castan -nf lpm-dl1 -packets 40 -out adversarial.pcap
+//
+// Exit codes: 0 = clean analysis, 1 = failure, 2 = usage error,
+// 3 = degraded analysis (a budget or deadline cut a stage short and the
+// emitted workload is best-effort; see the "degradations" report field).
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"castan/internal/budget"
 	"castan/internal/cachemodel"
 	"castan/internal/castan"
 	"castan/internal/memsim"
@@ -42,10 +47,20 @@ func main() {
 		metrics  = flag.String("metrics-out", "", "write the run's counters/gauges/histograms/phases (JSON) to this path")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this path")
+		budgetT  = flag.Uint64("budget", 0, "whole-run budget in deterministic ticks (0 = unlimited); on exhaustion the pipeline degrades instead of failing")
+		deadline = flag.Duration("deadline", 0, "wall-clock deadline (0 = none); checked at deterministic pipeline points and degrades like -budget")
+		failDeg  = flag.Bool("fail-on-degraded", false, "exit 1 instead of 3 when any stage degraded")
 	)
 	flag.Parse()
 	if *nfName == "" {
 		fmt.Fprintln(os.Stderr, "castan: -nf is required; known NFs:", strings.Join(nf.Names, ", "))
+		os.Exit(2)
+	}
+	if _, ok := nf.Catalog[*nfName]; !ok {
+		fmt.Fprintf(os.Stderr, "castan: unknown NF %q; known NFs:\n", *nfName)
+		for _, n := range nf.Names {
+			fmt.Fprintf(os.Stderr, "  %s\n", n)
+		}
 		os.Exit(2)
 	}
 	inst, err := nf.New(*nfName)
@@ -76,6 +91,12 @@ func main() {
 			fatal(err)
 		}
 		cfg.CacheModel = m
+	}
+	if *budgetT > 0 || *deadline > 0 {
+		cfg.Budget = budget.New(*budgetT)
+		if *deadline > 0 {
+			cfg.Budget.SetDeadline(nil, *deadline)
+		}
 	}
 	if *trace != "" || *metrics != "" {
 		// CLI runs use the wall clock: trace durations are real time.
@@ -148,10 +169,30 @@ func main() {
 	}
 	if *validate {
 		instrs, err := castan.Validate(*nfName, res.Frames)
-		if err != nil {
+		switch {
+		case err != nil && res.Degraded():
+			// A degraded workload is best-effort by contract; a replay
+			// hiccup is information, not a failure.
+			fmt.Printf("validation replay failed on degraded workload: %v\n", err)
+		case err != nil:
 			fatal(fmt.Errorf("validation replay: %w", err))
+		default:
+			fmt.Printf("validation replay executed %d instructions (prediction: %d)\n", instrs, res.Instrs)
 		}
-		fmt.Printf("validation replay executed %d instructions (prediction: %d)\n", instrs, res.Instrs)
+	}
+	if res.Degraded() {
+		fmt.Printf("DEGRADED: %d stage(s) cut short, %d budget ticks used\n",
+			len(res.Degradations), res.BudgetTicksUsed)
+		for _, d := range res.Degradations {
+			fmt.Printf("  %s: %s; fallback: %s\n", d.Stage, d.Reason, d.Fallback)
+		}
+		if len(res.UnreconciledSites) > 0 {
+			fmt.Printf("  unreconciled hash sites: %v\n", res.UnreconciledSites)
+		}
+		if *failDeg {
+			os.Exit(1)
+		}
+		os.Exit(3)
 	}
 }
 

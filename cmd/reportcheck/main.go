@@ -1,0 +1,72 @@
+// Command reportcheck validates a castan metrics report (JSON): the file
+// must decode against the report schema, carry a well-formed packet list,
+// and (optionally) match an expected NF. With -require-degraded it
+// additionally asserts the run recorded stage degradations and a budget
+// tick account — the CI fault-smoke gate uses this to prove a budget-cut
+// run still emits a complete, parseable report.
+//
+// Usage:
+//
+//	reportcheck -report report.json -nf lpm-trie -require-degraded
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"castan/internal/castan"
+)
+
+func main() {
+	var (
+		path   = flag.String("report", "", "report JSON path")
+		nfName = flag.String("nf", "", "expected NF name (optional)")
+		reqDeg = flag.Bool("require-degraded", false, "fail unless the report records degradations and budget ticks")
+	)
+	flag.Parse()
+	if *path == "" {
+		fmt.Fprintln(os.Stderr, "reportcheck: -report is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	rep, err := castan.ReadReport(f)
+	if err != nil {
+		fatal(err)
+	}
+	if *nfName != "" && rep.NF != *nfName {
+		fatal(fmt.Errorf("report is for NF %q, want %q", rep.NF, *nfName))
+	}
+	if len(rep.Packets) == 0 {
+		fatal(fmt.Errorf("report carries no packets"))
+	}
+	for i, p := range rep.Packets {
+		if p.Index != i {
+			fatal(fmt.Errorf("packet %d has index %d", i, p.Index))
+		}
+	}
+	if *reqDeg {
+		if len(rep.Degradations) == 0 {
+			fatal(fmt.Errorf("no degradations recorded; expected a budget-cut run"))
+		}
+		for _, d := range rep.Degradations {
+			if d.Stage == "" || d.Reason == "" || d.Fallback == "" {
+				fatal(fmt.Errorf("incomplete degradation record %+v", d))
+			}
+		}
+		if rep.BudgetTicksUsed == 0 {
+			fatal(fmt.Errorf("budget_ticks_used is zero on a budget-cut run"))
+		}
+	}
+	fmt.Printf("reportcheck: %s ok (nf %s, %d packets, %d degradations, %d ticks)\n",
+		*path, rep.NF, len(rep.Packets), len(rep.Degradations), rep.BudgetTicksUsed)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "reportcheck:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,176 @@
+package budget
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"castan/internal/obs"
+)
+
+func TestNilMeterIsNoop(t *testing.T) {
+	var m *Meter
+	if m.TotalUsed() != 0 {
+		t.Fatal("nil meter reports usage")
+	}
+	s := m.Stage(StageSymbex)
+	if s != nil {
+		t.Fatal("nil meter handed out a non-nil stage")
+	}
+	s.Charge(100) // must not panic
+	if got := s.Used(); got != 0 {
+		t.Fatalf("nil stage Used = %d", got)
+	}
+	if reason, ok := s.Exhausted(); ok || reason != "" {
+		t.Fatalf("nil stage exhausted: %q", reason)
+	}
+	if reason, ok := m.Exhausted(); ok || reason != "" {
+		t.Fatalf("nil meter exhausted: %q", reason)
+	}
+	m.SetStageLimit(StageSymbex, 1)
+	m.SetDeadline(nil, time.Second)
+	if m.Snapshot() != nil {
+		t.Fatal("nil meter snapshot not nil")
+	}
+}
+
+func TestChargeAndTotals(t *testing.T) {
+	m := New(100)
+	sym := m.Stage(StageSymbex)
+	sol := m.Stage(StageSolver)
+	sym.Charge(10)
+	sol.Charge(5)
+	sym.Charge(0) // no-op
+	if got := sym.Used(); got != 10 {
+		t.Fatalf("symbex used = %d, want 10", got)
+	}
+	if got := m.Used(StageSolver); got != 5 {
+		t.Fatalf("solver used = %d, want 5", got)
+	}
+	if got := m.TotalUsed(); got != 15 {
+		t.Fatalf("total used = %d, want 15", got)
+	}
+	snap := m.Snapshot()
+	if snap[StageSymbex] != 10 || snap[StageSolver] != 5 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}
+
+func TestWholeRunExhaustion(t *testing.T) {
+	m := New(10)
+	s := m.Stage(StageSymbex)
+	s.Charge(9)
+	if _, ok := s.Exhausted(); ok {
+		t.Fatal("exhausted below limit")
+	}
+	s.Charge(1)
+	reason, ok := s.Exhausted()
+	if !ok {
+		t.Fatal("not exhausted at limit")
+	}
+	if !strings.Contains(reason, "10/10") {
+		t.Fatalf("reason = %q", reason)
+	}
+	// The meter itself reports the same thing.
+	if _, ok := m.Exhausted(); !ok {
+		t.Fatal("meter not exhausted")
+	}
+}
+
+func TestStageLimitExhaustion(t *testing.T) {
+	m := New(0) // unlimited whole-run
+	m.SetStageLimit(StageDiscover, 3)
+	disc := m.Stage(StageDiscover)
+	other := m.Stage(StageSymbex)
+	other.Charge(1000) // unrelated stage usage must not trip discover
+	disc.Charge(2)
+	if _, ok := disc.Exhausted(); ok {
+		t.Fatal("stage exhausted below its limit")
+	}
+	disc.Charge(1)
+	reason, ok := disc.Exhausted()
+	if !ok {
+		t.Fatal("stage not exhausted at limit")
+	}
+	if !strings.Contains(reason, StageDiscover) {
+		t.Fatalf("reason should name the stage: %q", reason)
+	}
+	if _, ok := other.Exhausted(); ok {
+		t.Fatal("unlimited stage exhausted")
+	}
+	if _, ok := m.Exhausted(); ok {
+		t.Fatal("unlimited meter exhausted")
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	clock := obs.NewFakeClock(1000)
+	m := New(0)
+	m.SetDeadline(clock, 5000*time.Nanosecond)
+	// FakeClock advances 1000 per reading; SetDeadline took one reading.
+	// Two more readings stay under the deadline...
+	if _, ok := m.Exhausted(); ok {
+		t.Fatal("deadline fired early")
+	}
+	if _, ok := m.Exhausted(); ok {
+		t.Fatal("deadline fired early")
+	}
+	// ...then it fires, deterministically, on a later check.
+	var fired bool
+	for i := 0; i < 10; i++ {
+		if reason, ok := m.Exhausted(); ok {
+			if reason != "deadline exceeded" {
+				t.Fatalf("reason = %q", reason)
+			}
+			fired = true
+			break
+		}
+	}
+	if !fired {
+		t.Fatal("deadline never fired")
+	}
+}
+
+func TestZeroDeadlineIgnored(t *testing.T) {
+	m := New(0)
+	m.SetDeadline(obs.NewFakeClock(1000), 0)
+	for i := 0; i < 100; i++ {
+		if _, ok := m.Exhausted(); ok {
+			t.Fatal("zero deadline fired")
+		}
+	}
+}
+
+func TestConcurrentChargesAreCommutative(t *testing.T) {
+	const (
+		workers = 8
+		perW    = 1000
+	)
+	m := New(0)
+	s := m.Stage(StageSolver)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				s.Charge(3)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Used(); got != workers*perW*3 {
+		t.Fatalf("used = %d, want %d", got, workers*perW*3)
+	}
+	if got := m.TotalUsed(); got != workers*perW*3 {
+		t.Fatalf("total = %d, want %d", got, workers*perW*3)
+	}
+}
+
+func TestStageHandleIdentity(t *testing.T) {
+	m := New(0)
+	if m.Stage(StageRainbow) != m.Stage(StageRainbow) {
+		t.Fatal("Stage returned distinct handles for one name")
+	}
+}

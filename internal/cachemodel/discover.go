@@ -12,11 +12,29 @@
 package cachemodel
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
+	"castan/internal/budget"
 	"castan/internal/parallel"
 	"castan/internal/stats"
+)
+
+// Sentinel outcomes of Discover, distinguishable with errors.Is so the
+// pipeline can tell a benign empty result from a suspicious one from a
+// budget cut:
+var (
+	// ErrNoSets means the pool produced no contention sets at all — the
+	// normal outcome for NFs whose tables fit in cache.
+	ErrNoSets = errors.New("cachemodel: no contention sets found")
+	// ErrInconsistent means sets were found but none survived the
+	// cross-reboot consistency filter — a suspicious outcome that in the
+	// noise-free simulator points at perturbed probe timings.
+	ErrInconsistent = errors.New("cachemodel: all sets rejected by consistency filter")
+	// ErrBudget means the discovery budget ran out. A partial
+	// (unfiltered) model accompanies it when any set was found first.
+	ErrBudget = errors.New("cachemodel: discovery budget exhausted")
 )
 
 // Prober is the timing side-channel the discovery tool is allowed to use.
@@ -100,6 +118,12 @@ type DiscoverConfig struct {
 	// regardless of Workers, since concurrent probes on one prober would
 	// perturb each other.
 	Fork func() Prober
+	// Budget, when set, bounds discovery effort. Probe ticks are charged
+	// by the prober itself (memsim.SetBudget); Discover checks for
+	// exhaustion between findOne iterations — a deterministic
+	// orchestration point — and stops there, returning whatever partial
+	// model exists alongside ErrBudget.
+	Budget *budget.Stage
 }
 
 // Discover runs the §3.2 pipeline and returns the model.
@@ -135,7 +159,12 @@ func Discover(p Prober, cfg DiscoverConfig) (*Model, error) {
 	}
 
 	model := &Model{Assoc: cfg.Assoc, LineBytes: cfg.LineBytes}
+	var budgetReason string
 	for cfg.MaxSets == 0 || len(model.Sets) < cfg.MaxSets {
+		if reason, ok := cfg.Budget.Exhausted(); ok {
+			budgetReason = reason
+			break
+		}
 		set, rest, found := d.findOne(pool)
 		if !found {
 			break
@@ -143,12 +172,21 @@ func Discover(p Prober, cfg DiscoverConfig) (*Model, error) {
 		model.Sets = append(model.Sets, ContentionSet{Addrs: set})
 		pool = rest
 	}
-	if len(model.Sets) == 0 {
-		return nil, fmt.Errorf("cachemodel: no contention sets found (pool of %d)", len(cfg.Pool))
+	if budgetReason != "" && len(model.Sets) == 0 {
+		return nil, fmt.Errorf("%w (%s)", ErrBudget, budgetReason)
 	}
-	d.filterConsistent(model)
 	if len(model.Sets) == 0 {
-		return nil, fmt.Errorf("cachemodel: all sets rejected by consistency filter")
+		return nil, fmt.Errorf("%w (pool of %d)", ErrNoSets, len(cfg.Pool))
+	}
+	if budgetReason == "" {
+		// The consistency filter costs Reboots probes per set, so a
+		// budget-cut run skips it and hands back the unfiltered partial
+		// model — the caller already knows (via ErrBudget) to treat it as
+		// degraded.
+		d.filterConsistent(model)
+		if len(model.Sets) == 0 {
+			return nil, ErrInconsistent
+		}
 	}
 	for i := range model.Sets {
 		sort.Slice(model.Sets[i].Addrs, func(a, b int) bool {
@@ -156,6 +194,9 @@ func Discover(p Prober, cfg DiscoverConfig) (*Model, error) {
 		})
 	}
 	model.buildIndex()
+	if budgetReason != "" {
+		return model, fmt.Errorf("%w (%s)", ErrBudget, budgetReason)
+	}
 	return model, nil
 }
 

@@ -14,13 +14,17 @@
 package castan
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"castan/internal/analysis"
 	"castan/internal/analysis/cachecost"
+	"castan/internal/budget"
 	"castan/internal/cachemodel"
 	"castan/internal/expr"
+	"castan/internal/faultinject"
 	"castan/internal/icfg"
 	"castan/internal/interp"
 	"castan/internal/ir"
@@ -86,6 +90,17 @@ type Config struct {
 	// byte-identical at every worker count (DESIGN.md decision 8), and
 	// the snapshot lands in Output.Telemetry.
 	Obs *obs.Recorder
+	// Budget, when non-nil, bounds the run in deterministic ticks
+	// (symbex state pops, solver steps, probe line reads, rainbow chain
+	// links) with an optional wall-clock deadline. On exhaustion the
+	// pipeline degrades per stage instead of failing: the cut lands on
+	// the same tick at every worker count, so the degraded Output is as
+	// reproducible as a full one. Output.Degradations records what was
+	// cut and what the fallback was.
+	Budget *budget.Meter
+	// Faults arms seeded fault injection (tests and chaos runs only; nil
+	// in production). Each armed fault exercises one degradation path.
+	Faults *faultinject.Plan
 }
 
 func (c *Config) fill() {
@@ -121,6 +136,20 @@ type PacketMetrics struct {
 	Cycles uint64
 }
 
+// StageDegradation records one stage the pipeline had to cut short —
+// budget exhaustion, an injected or real fault — and the fallback that
+// kept the run producing output. Degradations appear in pipeline order,
+// so the list is deterministic.
+type StageDegradation struct {
+	// Stage is the pipeline stage that degraded: "discover", "symbex",
+	// "solve", "rainbow", "reconcile", "frames", or "crosscheck".
+	Stage string `json:"stage"`
+	// Reason says why (budget exhaustion reason, fault description).
+	Reason string `json:"reason"`
+	// Fallback says what the pipeline did instead.
+	Fallback string `json:"fallback"`
+}
+
 // Output is a completed analysis.
 type Output struct {
 	NF     string
@@ -152,10 +181,27 @@ type Output struct {
 	StatesExplored int
 	Forks          int
 	AnalysisTime   time.Duration
+	// Degradations lists the stages that were cut short and their
+	// fallbacks, in pipeline order (empty for a clean run). A non-empty
+	// list means the workload is best-effort, not the full analysis.
+	Degradations []StageDegradation
+	// UnreconciledSites lists the hash IDs of havoc sites left
+	// unreconciled (sorted, deduplicated). Unreconciled sites occur in
+	// healthy runs too (§5.4's related-key failure); under degradation
+	// the list flags which parts of the workload rest on unconstrained
+	// hash outputs.
+	UnreconciledSites []int
+	// BudgetTicksUsed is the meter total at the end of the run: all
+	// ticks charged across stages, whether or not a limit was hit (0
+	// when no meter was configured).
+	BudgetTicksUsed uint64
 	// Telemetry is the observability snapshot for this run (nil unless
 	// Config.Obs was set).
 	Telemetry *obs.Metrics
 }
+
+// Degraded reports whether any stage was cut short.
+func (o *Output) Degraded() bool { return len(o.Degradations) > 0 }
 
 // Analyze runs the full CASTAN pipeline on a *freshly built* NF instance.
 // The hierarchy is only ever probed as a black box.
@@ -167,6 +213,18 @@ func Analyze(inst *nf.Instance, hier *memsim.Hierarchy, cfg Config) (*Output, er
 		hier.SetObs(rec)
 	}
 	root := rec.Span("castan.analyze")
+
+	// Degradations accumulate in pipeline order; the matching counters
+	// are bumped once, at the end, from the accepted output only, so
+	// retried concretize attempts never pollute telemetry.
+	var degr []StageDegradation
+	degrade := func(stage, reason, fallback string) {
+		degr = append(degr, StageDegradation{Stage: stage, Reason: reason, Fallback: fallback})
+	}
+	// One counting solver-fault closure per run, shared by every solver
+	// on the pipeline goroutine (the engine's and concretize's); worker
+	// solvers stay unhooked, like Obs and Budget.
+	solverFault := cfg.Faults.SolverHook()
 
 	// Stage 0: static gate. A module that fails the pass pipeline (broken
 	// structure, use-before-def, definite out-of-extent access) would make
@@ -200,14 +258,37 @@ func Analyze(inst *nf.Instance, hier *memsim.Hierarchy, cfg Config) (*Output, er
 		regions = staticAttackRegions(mr)
 	}
 	spDiscover := root.Child("castan.discover")
+	// Probe ticks charge the "discover" stage through the hierarchy
+	// itself (forks inherit the stage); the fault hook perturbs probe
+	// timings. Both are cleared after discovery — later stages never
+	// probe this hierarchy.
+	hier.SetBudget(cfg.Budget.Stage(budget.StageDiscover))
+	hier.SetProbeFault(cfg.Faults.ProbeHook())
 	var model *cachemodel.Model
 	switch {
 	case cfg.NoCacheModel:
 	case cfg.CacheModel != nil:
 		model = cfg.CacheModel
 	case len(regions) > 0:
-		model = discoverModel(regions, hier, cfg)
+		var derr error
+		model, derr = discoverModel(regions, hier, cfg)
+		switch {
+		case derr == nil:
+		case errors.Is(derr, cachemodel.ErrBudget) && model != nil:
+			degrade("discover", derr.Error(), "partial unfiltered cache model")
+		case errors.Is(derr, cachemodel.ErrBudget):
+			degrade("discover", derr.Error(), "no cache model; cold-miss-once cost assumptions")
+		case errors.Is(derr, cachemodel.ErrInconsistent):
+			// Every set failing the cross-reboot filter points at
+			// perturbed probe timings in the noise-free simulator.
+			degrade("discover", derr.Error(), "no cache model; cold-miss-once cost assumptions")
+		default:
+			// ErrNoSets (and region pools too small to probe) is the
+			// paper's benign LPM two-stage outcome, not a degradation.
+		}
 	}
+	hier.SetBudget(nil)
+	hier.SetProbeFault(nil)
 	spDiscover.End()
 	rec.Counter("castan.contention_sets").Add(uint64(modelSets(model)))
 
@@ -263,7 +344,9 @@ func Analyze(inst *nf.Instance, hier *memsim.Hierarchy, cfg Config) (*Output, er
 			MaxStates:    cfg.MaxStates,
 			MaxLoopIters: cfg.MaxLoopIters,
 		},
-		Obs: rec,
+		Obs:         rec,
+		Budget:      cfg.Budget,
+		SolverFault: solverFault,
 	}
 	spSymbex := root.Child("castan.symbex")
 	res, err := eng.Run()
@@ -271,20 +354,12 @@ func Analyze(inst *nf.Instance, hier *memsim.Hierarchy, cfg Config) (*Output, er
 	if err != nil {
 		return nil, fmt.Errorf("castan: symbex: %w", err)
 	}
-	if res.Best == nil {
-		return nil, fmt.Errorf("castan: no state consumed all %d packets within budget", cfg.NPackets)
-	}
 
-	// Stage 3+4: reconcile havocs and solve, falling back to the next-best
-	// completed state if the best one resists solving.
+	// Stages 3+4: reconcile havocs and solve. finish carries everything
+	// common to the clean path and the degraded ones: summary fields,
+	// the crosscheck sanitizer, degradation counters, spans, telemetry.
 	spReconcile := root.Child("castan.reconcile")
-	var lastErr error
-	for _, st := range res.Completed {
-		out, err := concretize(inst, eng, st, cfg, staticHashIDs)
-		if err != nil {
-			lastErr = err
-			continue
-		}
+	finish := func(out *Output) (*Output, error) {
 		out.ContentionSetsFound = modelSets(model)
 		out.StatesExplored = res.StatesExplored
 		out.Forks = res.Forks
@@ -299,15 +374,26 @@ func Analyze(inst *nf.Instance, hier *memsim.Hierarchy, cfg Config) (*Output, er
 			// simulated hierarchy and fail loudly if any instruction the
 			// analysis classified always-hit ever reaches DRAM. A fresh
 			// hierarchy (same geometry, same seed) keeps the probing
-			// hierarchy's cache state and telemetry untouched.
+			// hierarchy's cache state and telemetry untouched. Under
+			// injected faults a failure is the expected consequence of a
+			// corrupted cache model, so a faulty or already-degraded run
+			// downgrades the alarm to a degradation instead of dying.
 			spCheck := root.Child("castan.crosscheck")
 			ccErr := cachecost.CrossCheck(cc, inst.Machine,
 				memsim.New(hier.Geometry(), cfg.Seed), "nf_process", out.Frames)
 			spCheck.End()
 			if ccErr != nil {
-				return nil, fmt.Errorf("castan: static cache analysis unsound on %s: %w",
-					inst.Name, ccErr)
+				if len(degr) == 0 && !cfg.Faults.Enabled() {
+					return nil, fmt.Errorf("castan: static cache analysis unsound on %s: %w",
+						inst.Name, ccErr)
+				}
+				degrade("crosscheck", ccErr.Error(), "workload emitted without the sanitizer guarantee")
 			}
+		}
+		out.Degradations = degr
+		out.BudgetTicksUsed = cfg.Budget.TotalUsed()
+		for _, d := range degr {
+			rec.Counter("castan.degraded." + d.Stage).Inc()
 		}
 		out.AnalysisTime = time.Since(start)
 		// End the spans before snapshotting so every phase is in the
@@ -317,7 +403,121 @@ func Analyze(inst *nf.Instance, hier *memsim.Hierarchy, cfg Config) (*Output, er
 		out.Telemetry = rec.Snapshot()
 		return out, nil
 	}
+
+	if res.Best == nil {
+		if res.BudgetExhausted == "" && !cfg.Faults.Enabled() {
+			return nil, fmt.Errorf("castan: no state consumed all %d packets within budget", cfg.NPackets)
+		}
+		// Degraded emit: the search was cut (budget) or starved
+		// (injected solver fault) before any state finished. The paper's
+		// contract is best-so-far output, so emit the workload of the
+		// most-progressed partial state — its cached model satisfies its
+		// path constraints by the engine invariant — or, with no
+		// surviving state at all, zero-model frames.
+		reason := res.BudgetExhausted
+		if reason == "" {
+			reason = "no state consumed all packets under injected faults"
+		}
+		out := &Output{NF: inst.Name}
+		mdl := solver.Model{}
+		if st := res.BestPartial; st != nil {
+			degrade("symbex", reason,
+				fmt.Sprintf("most-progressed partial state (%d/%d packets)", st.PacketsDone, cfg.NPackets))
+			mdl = st.Model()
+			out.Instrs, out.Loads, out.Stores = st.Instrs, st.Loads, st.Stores
+			out.ExpectDRAM, out.ExpectHit = st.ExpectDRAM, st.ExpectHit
+			out.HavocsTotal = len(st.Havocs)
+			unrec := map[int]bool{}
+			for _, h := range st.Havocs {
+				unrec[h.HashID] = true
+			}
+			out.UnreconciledSites = sortedSites(unrec)
+			for _, c := range st.PacketCosts {
+				out.Packets = append(out.Packets, PacketMetrics{Cycles: c})
+			}
+		} else {
+			degrade("symbex", reason, "no surviving states; zero-model frames")
+		}
+		out.Frames = buildFrames(eng, mdl, cfg, degrade)
+		return finish(out)
+	}
+	if res.BudgetExhausted != "" {
+		degrade("symbex", res.BudgetExhausted, "best completed state from truncated search")
+	}
+
+	// Clean(ish) path: fall back to the next-best completed state if the
+	// best one resists solving. Degradations a failed attempt recorded
+	// are rolled back — only the accepted attempt's survive.
+	var lastErr error
+	for _, st := range res.Completed {
+		attempt := append([]StageDegradation(nil), degr...)
+		out, err := concretize(inst, eng, st, cfg, staticHashIDs, &attempt, solverFault)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		degr = attempt
+		return finish(out)
+	}
 	return nil, fmt.Errorf("castan: no completed state solvable: %v", lastErr)
+}
+
+// sortedSites flattens a hash-ID set into a sorted slice (nil if empty).
+func sortedSites(m map[int]bool) []int {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// buildFrames extracts the workload's frames from a model. Worker panics
+// are contained by internal/parallel; on one the frames are rebuilt
+// sequentially, index by index, with a zero-model frame standing in for
+// any index that still panics.
+func buildFrames(eng *symbex.Engine, mdl solver.Model, cfg Config, degrade func(stage, reason, fallback string)) [][]byte {
+	hook := cfg.Faults.PanicHook(faultinject.PanicFrames)
+	frames, pan := tryFrames(eng, mdl, cfg, hook)
+	if pan == nil {
+		return frames
+	}
+	degrade("frames", pan.Error(), "sequential per-packet rebuild with zero-model fallback")
+	out := make([][]byte, eng.Cfg.NPackets)
+	for p := range out {
+		out[p] = frameSafe(eng, mdl, p)
+	}
+	return out
+}
+
+func tryFrames(eng *symbex.Engine, mdl solver.Model, cfg Config, hook func(int)) (frames [][]byte, pan *parallel.Panic) {
+	defer func() {
+		if v := recover(); v != nil {
+			p, ok := v.(*parallel.Panic)
+			if !ok {
+				panic(v)
+			}
+			frames, pan = nil, p
+		}
+	}()
+	return parallel.Map(cfg.Workers, eng.Cfg.NPackets, func(p int) []byte {
+		if hook != nil {
+			hook(p)
+		}
+		return frameFromModel(eng, mdl, p)
+	}), nil
+}
+
+func frameSafe(eng *symbex.Engine, mdl solver.Model, p int) (fr []byte) {
+	defer func() {
+		if recover() != nil {
+			fr = frameFromModel(eng, solver.Model{}, p)
+		}
+	}()
+	return frameFromModel(eng, mdl, p)
 }
 
 func modelSets(m *cachemodel.Model) int {
@@ -349,10 +549,10 @@ func staticAttackRegions(mr *analysis.MemRegions) []nf.Region {
 }
 
 // discoverModel builds the contention-set model over the given attack
-// regions. Discovery failure (e.g. a region too small to exceed
-// associativity anywhere in the sampled pool) simply yields no model —
-// the paper's LPM two-stage outcome.
-func discoverModel(regions []nf.Region, hier *memsim.Hierarchy, cfg Config) *cachemodel.Model {
+// regions. (nil, nil) means there was nothing to probe; sentinel errors
+// from cachemodel distinguish the benign no-sets outcome (the paper's LPM
+// two-stage result) from a budget cut or a suspicious filter wipeout.
+func discoverModel(regions []nf.Region, hier *memsim.Hierarchy, cfg Config) (*cachemodel.Model, error) {
 	geo := hier.Geometry()
 	stride := uint64(cfg.DiscoverStride * geo.LineBytes)
 	var pool []uint64
@@ -362,7 +562,7 @@ func discoverModel(regions []nf.Region, hier *memsim.Hierarchy, cfg Config) *cac
 		}
 	}
 	if len(pool) == 0 {
-		return nil
+		return nil, nil
 	}
 	// The pool budget is per region: an NF with several tables (the NAT's
 	// two rings) needs each discovered set to hold enough members *within
@@ -374,7 +574,7 @@ func discoverModel(regions []nf.Region, hier *memsim.Hierarchy, cfg Config) *cac
 		rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
 		pool = pool[:poolCap]
 	}
-	m, err := cachemodel.Discover(hier, cachemodel.DiscoverConfig{
+	return cachemodel.Discover(hier, cachemodel.DiscoverConfig{
 		Pool:      pool,
 		Assoc:     geo.L3Assoc(),
 		LineBytes: geo.LineBytes,
@@ -384,85 +584,148 @@ func discoverModel(regions []nf.Region, hier *memsim.Hierarchy, cfg Config) *cac
 		Seed:      cfg.Seed,
 		Workers:   cfg.Workers,
 		Fork:      func() cachemodel.Prober { return hier.Fork() },
+		Budget:    cfg.Budget.Stage(budget.StageDiscover),
 	})
-	if err != nil {
-		return nil
-	}
-	return m
 }
 
 // concretize reconciles the state's havocs and solves its constraints
-// into frames.
-func concretize(inst *nf.Instance, eng *symbex.Engine, st *symbex.State, cfg Config, staticHashIDs map[int]bool) (*Output, error) {
+// into frames. Degradations it records land in *degr: the caller snapshots
+// and restores that slice around failed attempts.
+func concretize(inst *nf.Instance, eng *symbex.Engine, st *symbex.State, cfg Config, staticHashIDs map[int]bool, degr *[]StageDegradation, solverFault func() bool) (*Output, error) {
+	degrade := func(stage, reason, fallback string) {
+		*degr = append(*degr, StageDegradation{Stage: stage, Reason: reason, Fallback: fallback})
+	}
 	// The engine maintains the invariant that each state's cached model
 	// satisfies its constraints, so it is both the starting model and the
 	// hint for all reconciliation checks. The solver runs on the pipeline
 	// goroutine, so instrumenting it keeps the recorded totals
 	// deterministic.
-	sol := solver.Solver{Hint: st.Model(), MaxSteps: 30000, Obs: cfg.Obs}
+	sol := solver.Solver{
+		Hint: st.Model(), MaxSteps: 30000, Obs: cfg.Obs,
+		Budget: cfg.Budget.Stage(budget.StageSolver), ForceUnknown: solverFault,
+	}
 	cons := append([]*expr.Expr(nil), st.Constraints()...)
 	mdl, err := sol.Solve(cons)
+	solveDegraded := false
 	if err != nil {
-		return nil, fmt.Errorf("state %d: %w", st.ID, err)
+		if !errors.Is(err, solver.ErrBudget) {
+			return nil, fmt.Errorf("state %d: %w", st.ID, err)
+		}
+		// Budget exhaustion (or an injected Unknown) cut the final solve.
+		// The state's cached localRepair model satisfies its constraints
+		// by the engine invariant, so it stands in; reconciliation is
+		// skipped — with no solver left there is nothing to re-check
+		// candidate preimages against.
+		mdl = st.Model()
+		solveDegraded = true
+		degrade("solve", err.Error(), "state's cached localRepair model")
 	}
 	sol.Hint = mdl
 
+	uses := map[int]nf.HashUse{}
+	for _, hu := range inst.Hashes {
+		uses[hu.HashID] = hu
+	}
+	unrec := map[int]bool{}
 	reconciled := 0
-	if !cfg.NoRainbow {
-		tables := buildRainbowTables(inst, cfg, staticHashIDs)
-		uses := map[int]nf.HashUse{}
-		for _, hu := range inst.Hashes {
-			uses[hu.HashID] = hu
+	if cfg.NoRainbow || solveDegraded {
+		for _, h := range st.Havocs {
+			if _, known := uses[h.HashID]; known {
+				unrec[h.HashID] = true
+			}
 		}
+	} else {
+		tables := buildRainbowTables(inst, cfg, staticHashIDs, degrade)
+		hook := cfg.Faults.PanicHook(faultinject.PanicReconcile)
+		bRainbow := cfg.Budget.Stage(budget.StageRainbow)
 		pinnedVars := map[expr.VarID]bool{}
 		usedKeys := map[string]bool{}
+		cut, panicked := false, false
 		for _, h := range st.Havocs {
 			hu, known := uses[h.HashID]
 			if !known {
 				continue
 			}
-			ok, extra := reconcileHavoc(&sol, cons, mdl, pinnedVars, usedKeys, h, hu, tables[h.HashID], cfg.Workers)
-			if ok {
-				cons = append(cons, extra...)
-				m2, err := sol.Solve(cons)
-				if err != nil {
-					// The pins conflicted after all; drop them.
-					cons = cons[:len(cons)-len(extra)]
-					continue
+			if !cut {
+				// Havoc records are the rainbow stage's deterministic cut
+				// points: single goroutine, fixed record order.
+				if reason, ok := bRainbow.Exhausted(); ok {
+					degrade("reconcile", reason, "remaining havoc sites left unreconciled")
+					cut = true
 				}
-				mdl = m2
-				sol.Hint = mdl
-				reconciled++
-				for _, ke := range h.Key {
-					ke.Vars(pinnedVars, nil)
+			}
+			if cut {
+				unrec[h.HashID] = true
+				continue
+			}
+			ok, extra, pan := safeReconcile(&sol, cons, mdl, pinnedVars, usedKeys, h, hu, tables[h.HashID], cfg.Workers, hook)
+			if pan != nil {
+				if !panicked {
+					degrade("reconcile", pan.Error(), "havoc site left unreconciled")
+					panicked = true
 				}
-				for _, v := range h.OutVars {
-					pinnedVars[v] = true
-				}
+				unrec[h.HashID] = true
+				continue
+			}
+			if !ok {
+				unrec[h.HashID] = true
+				continue
+			}
+			cons = append(cons, extra...)
+			m2, err := sol.Solve(cons)
+			if err != nil {
+				// The pins conflicted after all; drop them.
+				cons = cons[:len(cons)-len(extra)]
+				unrec[h.HashID] = true
+				continue
+			}
+			mdl = m2
+			sol.Hint = mdl
+			reconciled++
+			for _, ke := range h.Key {
+				ke.Vars(pinnedVars, nil)
+			}
+			for _, v := range h.OutVars {
+				pinnedVars[v] = true
 			}
 		}
 	}
 	cfg.Obs.Counter("castan.havocs").Add(uint64(len(st.Havocs)))
 	cfg.Obs.Counter("castan.havocs_reconciled").Add(uint64(reconciled))
 
-	frames := parallel.Map(cfg.Workers, eng.Cfg.NPackets, func(p int) []byte {
-		return frameFromModel(eng, mdl, p)
-	})
 	out := &Output{
-		NF:               inst.Name,
-		Frames:           frames,
-		Instrs:           st.Instrs,
-		Loads:            st.Loads,
-		Stores:           st.Stores,
-		ExpectDRAM:       st.ExpectDRAM,
-		ExpectHit:        st.ExpectHit,
-		HavocsTotal:      len(st.Havocs),
-		HavocsReconciled: reconciled,
+		NF:                inst.Name,
+		Frames:            buildFrames(eng, mdl, cfg, degrade),
+		Instrs:            st.Instrs,
+		Loads:             st.Loads,
+		Stores:            st.Stores,
+		ExpectDRAM:        st.ExpectDRAM,
+		ExpectHit:         st.ExpectHit,
+		HavocsTotal:       len(st.Havocs),
+		HavocsReconciled:  reconciled,
+		UnreconciledSites: sortedSites(unrec),
 	}
 	for _, c := range st.PacketCosts {
 		out.Packets = append(out.Packets, PacketMetrics{Cycles: c})
 	}
 	return out, nil
+}
+
+// safeReconcile contains a worker panic escaping one havoc's candidate
+// fan-out, so a single poisoned site degrades instead of killing the run.
+// Non-parallel panics (real bugs) still propagate.
+func safeReconcile(sol *solver.Solver, cons []*expr.Expr, mdl solver.Model, pinnedVars map[expr.VarID]bool, usedKeys map[string]bool, h symbex.HavocRecord, hu nf.HashUse, tbl *rainbow.Table, workers int, hook func(int)) (ok bool, extra []*expr.Expr, pan *parallel.Panic) {
+	defer func() {
+		if v := recover(); v != nil {
+			p, isPanic := v.(*parallel.Panic)
+			if !isPanic {
+				panic(v)
+			}
+			ok, extra, pan = false, nil, p
+		}
+	}()
+	ok, extra = reconcileHavoc(sol, cons, mdl, pinnedVars, usedKeys, h, hu, tbl, workers, hook)
+	return ok, extra, nil
 }
 
 // buildRainbowTables builds (and memoizes per process) one rainbow table
@@ -471,7 +734,8 @@ func concretize(inst *nf.Instance, eng *symbex.Engine, st *symbex.State, cfg Con
 // build each table exactly once instead of racing on a bare map.
 var rainbowCache parallel.Group[string, *rainbow.Table]
 
-func buildRainbowTables(inst *nf.Instance, cfg Config, staticHashIDs map[int]bool) map[int]*rainbow.Table {
+func buildRainbowTables(inst *nf.Instance, cfg Config, staticHashIDs map[int]bool, degrade func(stage, reason, fallback string)) map[int]*rainbow.Table {
+	corrupt := cfg.Faults.ChainHook()
 	out := map[int]*rainbow.Table{}
 	for _, h := range inst.Hashes {
 		if h.Space == nil {
@@ -486,7 +750,7 @@ func buildRainbowTables(inst *nf.Instance, cfg Config, staticHashIDs map[int]boo
 		}
 		key := fmt.Sprintf("%s/%d/%d/%T%v", inst.Name, h.HashID, h.Bits, h.Space, h.Space)
 		h := h
-		tbl, err := rainbowCache.Do(key, func() (*rainbow.Table, error) {
+		build := func() (*rainbow.Table, error) {
 			// rcfg.Obs stays nil on purpose: cached tables outlive one
 			// Analyze, so a build-time recorder would credit all chain
 			// work to whichever run built the table first. Counting below
@@ -495,13 +759,33 @@ func buildRainbowTables(inst *nf.Instance, cfg Config, staticHashIDs map[int]boo
 			rcfg := rainbow.DefaultConfig(h.Bits)
 			rcfg.Chains *= cfg.RainbowCoverage
 			rcfg.Workers = cfg.Workers
+			rcfg.Corrupt = corrupt
 			return rainbow.Build(h.Fn, h.Space, rcfg)
-		})
+		}
+		var tbl *rainbow.Table
+		var err error
+		if corrupt != nil {
+			// A corrupted table must never enter the shared cross-run
+			// cache, so fault runs build privately and eat the cost.
+			tbl, err = build()
+		} else {
+			tbl, err = rainbowCache.Do(key, build)
+		}
 		if err != nil {
+			continue
+		}
+		// Integrity gate: rewalk a handful of chains before trusting the
+		// table (it may come from the shared cache or a faulty build). A
+		// failed check drops the table — its havoc sites will simply stay
+		// unreconciled, which is a degradation, not an error.
+		if scErr := tbl.SelfCheck(4); scErr != nil {
+			degrade("rainbow", scErr.Error(),
+				fmt.Sprintf("table for hash %d dropped; its havoc sites stay unreconciled", h.HashID))
 			continue
 		}
 		cfg.Obs.Counter("rainbow.tables").Inc()
 		cfg.Obs.Counter("rainbow.chains").Add(uint64(tbl.Chains()))
+		cfg.Budget.Stage(budget.StageRainbow).Charge(uint64(tbl.Chains()) * uint64(tbl.ChainLen()))
 		out[h.HashID] = tbl
 	}
 	return out
@@ -510,8 +794,9 @@ func buildRainbowTables(inst *nf.Instance, cfg Config, staticHashIDs map[int]boo
 // reconcileHavoc implements §3.5's three-step reconciliation for one
 // havoc record: solve for the hash value the path wants, invert it with
 // the rainbow table, and re-check the preimage against the packet
-// constraints. Returns pin constraints on success.
-func reconcileHavoc(sol *solver.Solver, cons []*expr.Expr, mdl solver.Model, pinnedVars map[expr.VarID]bool, usedKeys map[string]bool, h symbex.HavocRecord, hu nf.HashUse, tbl *rainbow.Table, workers int) (bool, []*expr.Expr) {
+// constraints. Returns pin constraints on success. hook, when non-nil, is
+// the fault-injection worker-panic hook (tests only).
+func reconcileHavoc(sol *solver.Solver, cons []*expr.Expr, mdl solver.Model, pinnedVars map[expr.VarID]bool, usedKeys map[string]bool, h symbex.HavocRecord, hu nf.HashUse, tbl *rainbow.Table, workers int, hook func(int)) (bool, []*expr.Expr) {
 	if tbl == nil {
 		return false, nil
 	}
@@ -593,6 +878,9 @@ func reconcileHavoc(sol *solver.Solver, cons []*expr.Expr, mdl solver.Model, pin
 	warmExprs(h.Key)
 	pins := make([][]*expr.Expr, len(viable))
 	hit := parallel.First(workers, len(viable), func(i int) bool {
+		if hook != nil {
+			hook(i)
+		}
 		key := viable[i]
 		p := make([]*expr.Expr, 0, len(key)+len(h.OutVars))
 		for j, ke := range h.Key {

@@ -35,6 +35,16 @@ type Report struct {
 	StatesExplored   int     `json:"states_explored"`
 	Forks            int     `json:"forks"`
 	AnalysisSeconds  float64 `json:"analysis_seconds"`
+	// Degradations lists the stages the run had to cut short (absent for
+	// a clean run); a consumer seeing any entry knows the workload is
+	// best-effort rather than the full analysis.
+	Degradations []StageDegradation `json:"degradations,omitempty"`
+	// UnreconciledSites lists hash sites whose havocs were left
+	// unreconciled (sorted hash IDs; absent when every site reconciled).
+	UnreconciledSites []int `json:"unreconciled_sites,omitempty"`
+	// BudgetTicksUsed is the deterministic tick total the run consumed
+	// (absent when no budget meter was configured).
+	BudgetTicksUsed uint64 `json:"budget_ticks_used,omitempty"`
 	// Telemetry is the observability snapshot (absent unless the run was
 	// instrumented via Config.Obs).
 	Telemetry *obs.Metrics `json:"telemetry,omitempty"`
@@ -64,6 +74,9 @@ func (o *Output) Report() *Report {
 		StatesExplored:      o.StatesExplored,
 		Forks:               o.Forks,
 		AnalysisSeconds:     o.AnalysisTime.Seconds(),
+		Degradations:        o.Degradations,
+		UnreconciledSites:   o.UnreconciledSites,
+		BudgetTicksUsed:     o.BudgetTicksUsed,
 		Telemetry:           o.Telemetry,
 	}
 	for i, fr := range o.Frames {

@@ -11,7 +11,9 @@ import (
 	"strings"
 	"time"
 
+	"castan/internal/budget"
 	"castan/internal/castan"
+	"castan/internal/faultinject"
 	"castan/internal/memsim"
 	"castan/internal/nf"
 	"castan/internal/obs"
@@ -45,6 +47,15 @@ type Config struct {
 	// Obs, when non-nil, instruments every per-NF CASTAN analysis in the
 	// campaign (shared recorder; counters aggregate across NFs).
 	Obs *obs.Recorder
+	// CastanBudget, when non-zero, caps each per-NF analysis at that many
+	// deterministic ticks. Each analysis gets its own meter — a meter
+	// shared across the campaign's concurrent analyses would make *which*
+	// NF hits the cut depend on scheduling — so every NF degrades (or
+	// not) reproducibly on its own.
+	CastanBudget uint64
+	// Faults arms the same fault plan on every per-NF analysis (tests
+	// and chaos campaigns only).
+	Faults *faultinject.Plan
 }
 
 func (c *Config) fill() {
@@ -121,13 +132,18 @@ func (c *Campaign) Castan(nfName string) (*castan.Output, error) {
 		if c.opts.Geometry.LineBytes == 0 {
 			hier = memsim.New(memsim.DefaultGeometry(), c.cfg.Seed)
 		}
-		return castan.Analyze(inst, hier, castan.Config{
+		ccfg := castan.Config{
 			NPackets:  np,
 			MaxStates: c.cfg.CastanStates,
 			Seed:      c.cfg.Seed,
 			Workers:   c.cfg.Workers,
 			Obs:       c.cfg.Obs,
-		})
+			Faults:    c.cfg.Faults,
+		}
+		if c.cfg.CastanBudget > 0 {
+			ccfg.Budget = budget.New(c.cfg.CastanBudget)
+		}
+		return castan.Analyze(inst, hier, ccfg)
 	})
 }
 

@@ -14,6 +14,7 @@ package memsim
 import (
 	"fmt"
 
+	"castan/internal/budget"
 	"castan/internal/obs"
 	"castan/internal/stats"
 )
@@ -212,6 +213,19 @@ type Hierarchy struct {
 
 	Stats Counters
 	obs   obsCounters
+
+	// probeBudget, when set, is charged one "discover" tick per probe
+	// line read (the same quantity probeLineReads counts); forks inherit
+	// it, and because parallel.Shards runs every probe at any worker
+	// count the charged totals stay worker-count invariant. Exhaustion
+	// is checked by the discovery orchestrator, never here.
+	probeBudget *budget.Stage
+
+	// probeFault, when set, perturbs ProbeTime's returned timing — the
+	// fault-injection stand-in for a noisy measurement machine. It must
+	// be a pure function of its inputs so forks replaying the same
+	// probes see the same corruption.
+	probeFault func(addrs []uint64, t uint64) uint64
 }
 
 // SetObs points the hierarchy's telemetry at rec (nil disables it).
@@ -235,6 +249,14 @@ func (h *Hierarchy) SetObs(rec *obs.Recorder) {
 		probeLineReads: rec.Counter("memsim.probe_line_reads"),
 	}
 }
+
+// SetBudget points probe-tick charging at a budget stage (nil disables
+// it). Forks inherit the stage, like obs counters.
+func (h *Hierarchy) SetBudget(stage *budget.Stage) { h.probeBudget = stage }
+
+// SetProbeFault installs a probe-timing perturbation hook (nil disables
+// it). Forks inherit the hook; internal/faultinject supplies seeded ones.
+func (h *Hierarchy) SetProbeFault(f func(addrs []uint64, t uint64) uint64) { h.probeFault = f }
 
 // New creates a hierarchy with the given geometry. The seed fixes the
 // hidden hash; Reboot re-randomizes only the page mapping, as a real
@@ -268,16 +290,18 @@ func (h *Hierarchy) Geometry() Geometry { return h.geo }
 // ProbeTime is bit-identical to the parent's.
 func (h *Hierarchy) Fork() *Hierarchy {
 	f := &Hierarchy{
-		geo:     h.geo,
-		secretF: h.secretF,
-		secretG: h.secretG,
-		pageMap: make(map[uint64]uint64, len(h.pageMap)),
-		pageRng: h.pageRng.Clone(),
-		nextPPN: h.nextPPN,
-		l1:      newCache(h.geo.L1Sets, h.geo.L1Ways),
-		l2:      newCache(h.geo.L2Sets, h.geo.L2Ways),
-		l3:      newCache(h.geo.L3Slices*h.geo.L3SetsPerSlice, h.geo.L3Ways),
-		obs:     h.obs,
+		geo:         h.geo,
+		secretF:     h.secretF,
+		secretG:     h.secretG,
+		pageMap:     make(map[uint64]uint64, len(h.pageMap)),
+		pageRng:     h.pageRng.Clone(),
+		nextPPN:     h.nextPPN,
+		l1:          newCache(h.geo.L1Sets, h.geo.L1Ways),
+		l2:          newCache(h.geo.L2Sets, h.geo.L2Ways),
+		l3:          newCache(h.geo.L3Slices*h.geo.L3SetsPerSlice, h.geo.L3Ways),
+		obs:         h.obs,
+		probeBudget: h.probeBudget,
+		probeFault:  h.probeFault,
 	}
 	for vpn, ppn := range h.pageMap {
 		f.pageMap[vpn] = ppn
@@ -438,6 +462,7 @@ func (h *Hierarchy) ProbeTime(addrs []uint64, rounds int) uint64 {
 	}
 	h.obs.probeCalls.Inc()
 	h.obs.probeLineReads.Add(uint64(len(addrs) * (rounds + 1)))
+	h.probeBudget.Charge(uint64(len(addrs) * (rounds + 1)))
 	h.Flush()
 	saved := h.Stats
 	for _, a := range addrs {
@@ -451,6 +476,9 @@ func (h *Hierarchy) ProbeTime(addrs []uint64, rounds int) uint64 {
 		}
 	}
 	h.Stats = saved
+	if h.probeFault != nil {
+		total = h.probeFault(addrs, total)
+	}
 	return total
 }
 

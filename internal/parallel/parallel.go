@@ -15,13 +15,59 @@
 //     match a sequential draw order bit-for-bit);
 //   - error and early-exit selection is by lowest index (MapErr, First),
 //     which is exactly what a sequential loop would have produced.
+//
+// Worker panics are contained rather than process-fatal: every fan-out
+// attempts all of its items, records panics with their stacks, and
+// re-panics the lowest-index *Panic on the caller's goroutine — the same
+// lowest-index rule MapErr and First use, so which panic surfaces does
+// not depend on the worker count. Callers that can degrade (the castan
+// stage guards) recover the *Panic; everyone else still crashes with the
+// original stack attached.
 package parallel
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// Panic records one contained worker panic: the item (or shard) index
+// that panicked, the recovered value, and the worker's stack at the time.
+// It implements error so stage guards can wrap it unmodified.
+type Panic struct {
+	Index int
+	Value any
+	Stack []byte
+}
+
+func (p *Panic) Error() string {
+	return fmt.Sprintf("parallel: worker panic on item %d: %v", p.Index, p.Value)
+}
+
+// capture runs fn(i), converting a panic into a *Panic record.
+func capture(fn func(i int), i int) (p *Panic) {
+	defer func() {
+		if v := recover(); v != nil {
+			p = &Panic{Index: i, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	fn(i)
+	return nil
+}
+
+// rethrowLowest re-panics the lowest-index contained panic, if any. It
+// runs on the caller's goroutine, after every item has been attempted, so
+// a recovering caller observes the same surviving side effects at every
+// worker count.
+func rethrowLowest(panics []*Panic) {
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+}
 
 // Workers resolves a worker-count knob: n if positive, else GOMAXPROCS.
 func Workers(n int) int {
@@ -42,10 +88,15 @@ func ForEach(w, n int, fn func(i int)) {
 	if w > n {
 		w = n
 	}
+	panics := make([]*Panic, n)
 	if w == 1 {
+		// The sequential path still attempts every item so that a
+		// recovering caller sees the same completed-item set as the
+		// parallel path would.
 		for i := 0; i < n; i++ {
-			fn(i)
+			panics[i] = capture(fn, i)
 		}
+		rethrowLowest(panics)
 		return
 	}
 	var next atomic.Int64
@@ -59,11 +110,12 @@ func ForEach(w, n int, fn func(i int)) {
 				if i >= n {
 					return
 				}
-				fn(i)
+				panics[i] = capture(fn, i)
 			}
 		}()
 	}
 	wg.Wait()
+	rethrowLowest(panics)
 }
 
 // Shards partitions [0, n) into at most w near-equal contiguous ranges
@@ -81,6 +133,7 @@ func Shards(w, n int, fn func(shard, lo, hi int)) {
 	if w > n {
 		w = n
 	}
+	panics := make([]*Panic, w)
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for s := 0; s < w; s++ {
@@ -88,10 +141,11 @@ func Shards(w, n int, fn func(shard, lo, hi int)) {
 		hi := (s + 1) * n / w
 		go func(shard, lo, hi int) {
 			defer wg.Done()
-			fn(shard, lo, hi)
+			panics[shard] = capture(func(int) { fn(shard, lo, hi) }, shard)
 		}(s, lo, hi)
 	}
 	wg.Wait()
+	rethrowLowest(panics)
 }
 
 // Map computes out[i] = fn(i) for i in [0, n) on up to w workers,
@@ -128,7 +182,11 @@ func First(w, n int, fn func(i int) bool) int {
 	w = Workers(w)
 	if w == 1 {
 		for i := 0; i < n; i++ {
-			if fn(i) {
+			var hit bool
+			if p := capture(func(i int) { hit = fn(i) }, i); p != nil {
+				panic(p)
+			}
+			if hit {
 				return i
 			}
 		}

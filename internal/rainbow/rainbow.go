@@ -25,6 +25,7 @@ type Table struct {
 	space nfhash.KeySpace
 
 	chainLen int
+	seed     uint64
 	ends     map[uint64][]uint64 // endHash -> start seeds (collisions kept)
 	nchains  int
 }
@@ -49,6 +50,12 @@ type Config struct {
 	// and count at the orchestration site instead, so cache hits and
 	// fresh builds record identically (DESIGN.md decision 8).
 	Obs *obs.Recorder
+	// Corrupt is a fault-injection hook perturbing stored chain ends
+	// (nil in production). A corrupted table still answers lookups — the
+	// walks just dead-end — which is exactly what SelfCheck exists to
+	// detect. Tables built with a Corrupt hook must never enter a shared
+	// cache.
+	Corrupt func(chain int, end uint64) uint64
 }
 
 // DefaultConfig covers a bits-wide space about 4×.
@@ -75,6 +82,7 @@ func Build(hash func([]byte) uint64, space nfhash.KeySpace, cfg Config) (*Table,
 		bits:     cfg.Bits,
 		space:    space,
 		chainLen: cfg.ChainLen,
+		seed:     cfg.Seed,
 		ends:     make(map[uint64][]uint64, cfg.Chains),
 	}
 	// Chains are independent given their start seed, and chain c's start
@@ -93,8 +101,12 @@ func Build(hash func([]byte) uint64, space nfhash.KeySpace, cfg Config) (*Table,
 		}
 		return chain{start: start, end: h}
 	})
-	for _, c := range walked {
-		t.ends[c.end] = append(t.ends[c.end], c.start)
+	for c, ch := range walked {
+		end := ch.end
+		if cfg.Corrupt != nil {
+			end = cfg.Corrupt(c, end)
+		}
+		t.ends[end] = append(t.ends[end], ch.start)
 		t.nchains++
 	}
 	cfg.Obs.Counter("rainbow.chains_built").Add(uint64(t.nchains))
@@ -119,8 +131,43 @@ func (t *Table) reduce(h uint64, pos int) uint64 {
 // Chains reports how many chains the table holds.
 func (t *Table) Chains() int { return t.nchains }
 
+// ChainLen reports the chain length.
+func (t *Table) ChainLen() int { return t.chainLen }
+
 // Bits reports the hash width.
 func (t *Table) Bits() int { return t.bits }
+
+// SelfCheck validates table integrity by rewalking up to n chains (0 or
+// negative = all): chain c's start is recomputed from the build seed, the
+// chain is walked to its end, and the stored ends index must map that end
+// back to the start. A corrupted or torn table fails with a description
+// of the first bad chain. The walk costs n×ChainLen hash steps, so
+// callers usually spot-check a sample before trusting a cached table.
+func (t *Table) SelfCheck(n int) error {
+	if n <= 0 || n > t.nchains {
+		n = t.nchains
+	}
+	for c := 0; c < n; c++ {
+		rng := stats.NewRNG(t.seed)
+		rng.Skip(uint64(c))
+		start := rng.Uint64()
+		h := t.step(start, 0)
+		for pos := 1; pos < t.chainLen; pos++ {
+			h = t.step(t.reduce(h, pos-1), pos)
+		}
+		found := false
+		for _, s := range t.ends[h] {
+			if s == start {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("rainbow: self-check failed at chain %d: recomputed end %#x not indexed to start %#x", c, h, start)
+		}
+	}
+	return nil
+}
 
 // Invert searches for preimage keys of hash h (masked to the table's
 // width), returning up to max candidates. Returned keys all satisfy

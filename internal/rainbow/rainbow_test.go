@@ -156,3 +156,42 @@ func TestBuildWorkerCountInvariant(t *testing.T) {
 		}
 	}
 }
+
+func TestSelfCheckPassesOnHealthyTable(t *testing.T) {
+	tbl, err := Build(nfhash.TableHash, nfhash.RawSpace{Len: 4}, DefaultConfig(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.ChainLen() != DefaultConfig(12).ChainLen {
+		t.Fatalf("ChainLen = %d", tbl.ChainLen())
+	}
+	if err := tbl.SelfCheck(0); err != nil {
+		t.Fatalf("full self-check failed on healthy table: %v", err)
+	}
+	if err := tbl.SelfCheck(8); err != nil {
+		t.Fatalf("sampled self-check failed: %v", err)
+	}
+}
+
+func TestSelfCheckCatchesCorruption(t *testing.T) {
+	cfg := DefaultConfig(12)
+	// Corrupt every other chain end; the table must still build and
+	// answer lookups (possibly wrongly), but SelfCheck must notice.
+	cfg.Corrupt = func(chain int, end uint64) uint64 {
+		if chain%2 == 0 {
+			return end ^ 0xdeadbeef
+		}
+		return end
+	}
+	tbl, err := Build(nfhash.TableHash, nfhash.RawSpace{Len: 4}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.SelfCheck(0); err == nil {
+		t.Fatal("self-check passed on corrupted table")
+	}
+	// Chain 0 is corrupted, so even a 1-chain spot check catches it.
+	if err := tbl.SelfCheck(1); err == nil {
+		t.Fatal("spot check missed corrupted chain 0")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"sort"
 
+	"castan/internal/budget"
 	"castan/internal/expr"
 	"castan/internal/obs"
 )
@@ -117,6 +118,18 @@ type Solver struct {
 	// worker count (speculative parallel batches) must leave it nil so
 	// the recorded totals stay deterministic (DESIGN.md decision 8).
 	Obs *obs.Recorder
+	// Budget, when set, is charged one tick per search step after each
+	// query, and a query entered with the budget already exhausted
+	// returns Unknown immediately (cooperative cancellation — an
+	// in-flight query always runs to its own MaxSteps, so the cut point
+	// is a query boundary, which is deterministic). The same caveat as
+	// Obs applies: speculative parallel callers must leave it nil and
+	// let the orchestrator charge the sequential-equivalent effort.
+	Budget *budget.Stage
+	// ForceUnknown is a fault-injection hook: when it returns true the
+	// query is abandoned as Unknown before any search. Production code
+	// leaves it nil; internal/faultinject supplies seeded hooks.
+	ForceUnknown func() bool
 }
 
 // DefaultMaxSteps is the default search budget.
@@ -138,7 +151,18 @@ func (s *Solver) Check(constraints []*expr.Expr) (Result, Model) {
 }
 
 func (s *Solver) check(constraints []*expr.Expr) (Result, Model, *problem) {
+	if s.ForceUnknown != nil && s.ForceUnknown() {
+		return Unknown, nil, nil
+	}
+	if _, exhausted := s.Budget.Exhausted(); exhausted {
+		return Unknown, nil, nil
+	}
 	p, res := newProblem(constraints)
+	defer func() {
+		if p != nil {
+			s.Budget.Charge(uint64(p.steps))
+		}
+	}()
 	if res != Unknown {
 		return res, modelIfSat(res, p), p
 	}

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"castan/internal/budget"
 	"castan/internal/expr"
 )
 
@@ -188,20 +189,77 @@ func TestSolveErrors(t *testing.T) {
 }
 
 func TestBudgetUnknown(t *testing.T) {
-	s := Solver{MaxSteps: 1}
-	// Needs more than one decision: force a multi-var search.
+	// A satisfiable, non-trivially-true system over three variables. Any
+	// satisfying search must assign all three, and each assignment costs
+	// at least one step (search increments steps before every value try,
+	// and the budget check is steps > budget), so with MaxSteps: 1 a Sat
+	// outcome is impossible: the search runs out of budget during or
+	// before its second decision. Unsat is equally impossible — the
+	// system has models (e.g. v1=100, v2=0, v3=150) and the interval
+	// pre-pass cannot refute a satisfiable system. Unknown is therefore
+	// the only reachable outcome, deterministically.
 	cons := []*expr.Expr{
 		expr.Eq(expr.Add(expr.Var(1), expr.Var(2)), expr.Const(100)),
 		expr.Eq(expr.Add(expr.Var(2), expr.Var(3)), expr.Const(150)),
 	}
-	r, _ := s.Check(cons)
-	if r == Sat {
-		// With aggressive propagation even 1 step may suffice; accept Sat
-		// but verify Unknown path via an impossible budget of tighter kind.
-		t.Skip("solver solved within one step; budget path covered elsewhere")
-	}
+	s := Solver{MaxSteps: 1}
+	r, m := s.Check(cons)
 	if r != Unknown {
-		t.Errorf("result = %v, want unknown", r)
+		t.Fatalf("Check = %v, want unknown", r)
+	}
+	if m != nil {
+		t.Fatalf("Unknown returned a model: %v", m)
+	}
+	// Solve surfaces the same outcome as ErrBudget.
+	if _, err := s.Solve(cons); err != ErrBudget {
+		t.Fatalf("Solve err = %v, want ErrBudget", err)
+	}
+	// A real budget solves the same system — the Unknown above was the
+	// budget's doing, not the system's.
+	full := Solver{}
+	r, m = full.Check(cons)
+	if r != Sat {
+		t.Fatalf("unbudgeted Check = %v, want sat", r)
+	}
+	checkModel(t, cons, m)
+}
+
+func TestBudgetStageCharging(t *testing.T) {
+	m := budget.New(0)
+	stage := m.Stage(budget.StageSolver)
+	s := Solver{Budget: stage}
+	cons := []*expr.Expr{expr.Eq(expr.Var(1), expr.Const(9))}
+	if r, _ := s.Check(cons); r != Sat {
+		t.Fatal("sat system did not solve")
+	}
+	if stage.Used() == 0 {
+		t.Fatal("no ticks charged for a solved query")
+	}
+	// Exhausted stage → immediate Unknown, no further charges.
+	lim := budget.New(1)
+	limStage := lim.Stage(budget.StageSolver)
+	limStage.Charge(1)
+	s2 := Solver{Budget: limStage}
+	if r, _ := s2.Check(cons); r != Unknown {
+		t.Fatal("exhausted budget did not force Unknown")
+	}
+	if limStage.Used() != 1 {
+		t.Fatalf("exhausted query still charged: %d", limStage.Used())
+	}
+}
+
+func TestForceUnknownHook(t *testing.T) {
+	calls := 0
+	s := Solver{ForceUnknown: func() bool { calls++; return calls > 1 }}
+	cons := []*expr.Expr{expr.Eq(expr.Var(1), expr.Const(9))}
+	if r, _ := s.Check(cons); r != Sat {
+		t.Fatal("first query should pass through")
+	}
+	if r, _ := s.Check(cons); r != Unknown {
+		t.Fatal("hook did not force Unknown")
+	}
+	if _, err := s.Solve(cons); err != ErrBudget {
+		t.Fatalf("Solve err = %v, want ErrBudget", err)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"castan/internal/analysis/cachecost"
+	"castan/internal/budget"
 	"castan/internal/cachemodel"
 	"castan/internal/expr"
 	"castan/internal/icfg"
@@ -116,6 +117,19 @@ type Engine struct {
 	// goroutine, so all readings are deterministic.
 	Obs *obs.Recorder
 
+	// Budget, when non-nil, is charged one "symbex" tick per state pop
+	// (plus "solver" ticks through the engine's solvers); when it runs
+	// out the search stops at that pop boundary and Result records the
+	// reason. The engine runs on one goroutine, so the cut lands on the
+	// same pop at every worker count.
+	Budget *budget.Meter
+
+	// SolverFault, when non-nil, is a fault-injection hook forcing engine
+	// solver queries to return Unknown once it fires (tests only). It is
+	// called from the engine goroutine only, so a counting hook stays
+	// deterministic.
+	SolverFault func() bool
+
 	sol      solver.Solver
 	nextID   int
 	forks    int
@@ -140,6 +154,16 @@ type Result struct {
 	// as Best completed — the searcher's steps-to-worst-path (0 if no
 	// state completed).
 	PopsToBest int
+	// BudgetExhausted is the budget's exhaustion reason when the search
+	// was cut short by its budget.Meter ("" when the search ran to its
+	// own MaxStates/StopAfterDone limits).
+	BudgetExhausted string
+	// BestPartial is the most-progressed pending state when no state
+	// completed: most packets consumed, then highest realized cost, then
+	// lowest ID — a deterministic choice a degraded pipeline can still
+	// emit a workload from. nil when Completed is non-empty or the queue
+	// drained.
+	BestPartial *State
 }
 
 // stateHeap is a max-heap on Priority.
@@ -173,7 +197,12 @@ func (e *Engine) havocVarBase() expr.VarID {
 // per-problem solvers) carries the engine's recorder and an explicit
 // step budget. Call only after Cfg.fill has run.
 func (e *Engine) newSolver(maxSteps int) solver.Solver {
-	return solver.Solver{MaxSteps: maxSteps, Obs: e.Obs}
+	return solver.Solver{
+		MaxSteps:     maxSteps,
+		Obs:          e.Obs,
+		Budget:       e.Budget.Stage(budget.StageSolver),
+		ForceUnknown: e.SolverFault,
+	}
 }
 
 // Run explores the NF and returns the best adversarial states found.
@@ -220,9 +249,19 @@ func (e *Engine) Run() (*Result, error) {
 	done := 0
 	pops := 0
 	popsToFirstDone, popsToBest := 0, 0
+	bSymbex := e.Budget.Stage(budget.StageSymbex)
+	var budgetReason string
 	for pq.Len() > 0 && e.explored < e.Cfg.MaxStates && done < e.Cfg.StopAfterDone {
+		// The budget cut point is the pop boundary: single goroutine,
+		// checked before any work on the next state, so exhaustion lands
+		// on the same pop at every worker count.
+		if reason, ok := bSymbex.Exhausted(); ok {
+			budgetReason = reason
+			break
+		}
 		s := heap.Pop(&pq).(*State)
 		pops++
+		bSymbex.Charge(1)
 		cPops.Inc()
 		gQueue.Set(uint64(pq.Len()))
 		if e.Trace != nil {
@@ -284,11 +323,31 @@ func (e *Engine) Run() (*Result, error) {
 		Forks:           e.forks,
 		PopsToFirstDone: popsToFirstDone,
 		PopsToBest:      popsToBest,
+		BudgetExhausted: budgetReason,
 	}
 	if len(completed) > 0 {
 		res.Best = completed[0]
+	} else {
+		res.BestPartial = bestPartial(pq)
 	}
 	return res, nil
+}
+
+// bestPartial picks the most-progressed pending state: most packets
+// consumed, then highest realized cost, then lowest ID. Trapped and
+// completed states never sit in the queue, so every candidate is a live
+// partial path.
+func bestPartial(pq stateHeap) *State {
+	var best *State
+	for _, s := range pq {
+		if best == nil ||
+			s.PacketsDone > best.PacketsDone ||
+			(s.PacketsDone == best.PacketsDone && s.CurCost > best.CurCost) ||
+			(s.PacketsDone == best.PacketsDone && s.CurCost == best.CurCost && s.ID < best.ID) {
+			best = s
+		}
+	}
+	return best
 }
 
 func insertCompleted(list []*State, s *State, keep int) []*State {
