@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-metrics trace-smoke fault-smoke fmt fmt-fix vet lint lint-strict irlint print-staticcheck-version check
+.PHONY: all build test race bench bench-smoke bench-metrics bench-gate store-smoke trace-smoke fault-smoke fmt fmt-fix vet lint lint-strict irlint print-staticcheck-version check
 
 # Pinned staticcheck release; CI installs exactly this version.
 STATICCHECK_VERSION = 2025.1.1
@@ -33,6 +33,39 @@ bench-smoke:
 # Performance PRs diff this file to prove their speedups.
 bench-metrics:
 	$(GO) run ./cmd/benchmetrics -out results/BENCH_castan.json
+
+# Perf gate (what CI runs): re-run the checked-in benchmark baseline's
+# configuration and fail if any deterministic effort counter — probe line
+# reads, solver queries, state pops, budget ticks; never wall-clock —
+# regresses more than 5%. Update the baseline with `make bench-metrics`
+# when an effort change is intentional.
+bench-gate:
+	$(GO) run ./cmd/benchmetrics -compare results/BENCH_castan.json
+
+# Store smoke (what CI runs): two identical cmd/castan runs sharing one
+# -store directory. The warm run must hit the store (castan.store.hits
+# nonzero), and both runs must produce byte-identical workloads and
+# identical reports modulo wall-clock/telemetry — a warm store changes
+# effort, never output. CI overrides STORE_SMOKE_DIR and uploads it.
+STORE_SMOKE_DIR ?= /tmp/castan-store-smoke
+store-smoke:
+	rm -rf $(STORE_SMOKE_DIR)/store
+	mkdir -p $(STORE_SMOKE_DIR)/store
+	$(GO) build -o $(STORE_SMOKE_DIR)/castan ./cmd/castan
+	$(STORE_SMOKE_DIR)/castan -nf lpm-dl1 -packets 8 -states 3000 \
+		-store $(STORE_SMOKE_DIR)/store \
+		-out $(STORE_SMOKE_DIR)/cold.pcap \
+		-report $(STORE_SMOKE_DIR)/cold-report.json
+	$(STORE_SMOKE_DIR)/castan -nf lpm-dl1 -packets 8 -states 3000 \
+		-store $(STORE_SMOKE_DIR)/store \
+		-out $(STORE_SMOKE_DIR)/warm.pcap \
+		-report $(STORE_SMOKE_DIR)/warm-report.json \
+		-metrics-out $(STORE_SMOKE_DIR)/warm-metrics.json
+	cmp $(STORE_SMOKE_DIR)/cold.pcap $(STORE_SMOKE_DIR)/warm.pcap
+	$(GO) run ./cmd/tracecheck -metrics $(STORE_SMOKE_DIR)/warm-metrics.json \
+		-require castan.store.hits
+	$(GO) run ./cmd/reportcheck -report $(STORE_SMOKE_DIR)/cold-report.json \
+		-nf lpm-dl1 -compare $(STORE_SMOKE_DIR)/warm-report.json
 
 # Short observability smoke (what CI runs): one traced cmd/castan run,
 # then schema-validate the trace and assert the core counters moved.

@@ -7,9 +7,17 @@
 // Durations come from the wall clock, so only the counter columns are
 // run-to-run stable; the phase timings are indicative.
 //
+// With -compare, benchmetrics instead re-runs the baseline's exact
+// configuration and fails (exit 1) if any deterministic effort counter —
+// probe line reads, solver queries, state pops, budget ticks; never
+// wall-clock — regresses by more than -tolerance against the baseline
+// file. This is the CI perf gate: effort counters are bit-identical
+// across machines and load, so the gate has no flakiness to absorb.
+//
 // Usage:
 //
 //	benchmetrics -out results/BENCH_castan.json
+//	benchmetrics -compare results/BENCH_castan.json
 package main
 
 import (
@@ -24,9 +32,13 @@ import (
 	"castan/internal/memsim"
 	"castan/internal/nf"
 	"castan/internal/obs"
+	"castan/internal/store"
 )
 
-// coreCounters are the effort columns every benchmark row carries.
+// coreCounters are the effort columns every benchmark row carries. All
+// of them are deterministic for a fixed (nf, packets, states, seed) —
+// they count work items, not time — which is what makes them usable as a
+// CI regression gate.
 var coreCounters = []string{
 	"solver.queries",
 	"solver.backtracks",
@@ -35,8 +47,10 @@ var coreCounters = []string{
 	"symbex.instructions",
 	"memsim.accesses",
 	"memsim.dram_misses",
+	"memsim.probe_line_reads",
 	"rainbow.chains",
 	"castan.havocs_reconciled",
+	"castan.store.hits",
 }
 
 type row struct {
@@ -71,42 +85,75 @@ type report struct {
 
 func main() {
 	var (
-		out     = flag.String("out", "results/BENCH_castan.json", "output path")
-		nfs     = flag.String("nfs", "", "comma-separated NF subset (default: the full catalog)")
-		packets = flag.Int("packets", 6, "workload length per NF")
-		states  = flag.Int("states", 4000, "exploration budget per NF")
-		seed    = flag.Uint64("seed", 2018, "analysis seed")
+		out       = flag.String("out", "results/BENCH_castan.json", "output path")
+		nfs       = flag.String("nfs", "", "comma-separated NF subset (default: the full catalog)")
+		packets   = flag.Int("packets", 6, "workload length per NF")
+		states    = flag.Int("states", 4000, "exploration budget per NF")
+		seed      = flag.Uint64("seed", 2018, "analysis seed")
+		storeDir  = flag.String("store", "", "cross-run artifact store directory (see cmd/castan -store)")
+		compare   = flag.String("compare", "", "baseline bench JSON: re-run its configuration and exit 1 if any deterministic effort counter regresses more than -tolerance (perf gate mode; -out/-packets/-states/-seed are ignored)")
+		tolerance = flag.Float64("tolerance", 0.05, "allowed relative effort-counter regression in -compare mode")
 	)
 	flag.Parse()
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *compare != "" {
+		os.Exit(compareAgainst(*compare, *tolerance, st))
+	}
 	names := nf.Names
 	if *nfs != "" {
 		names = strings.Split(*nfs, ",")
 	}
 	rep := report{Schema: "castan-bench-metrics/v1", Packets: *packets, States: *states, Seed: *seed}
+	rep.Rows = runRows(names, *packets, *states, *seed, st)
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d NFs)\n", *out, len(rep.Rows))
+}
+
+func runRows(names []string, packets, states int, seed uint64, st *store.Store) []row {
+	var rows []row
 	for _, name := range names {
 		name = strings.TrimSpace(name)
 		r := row{NF: name}
 		inst, err := nf.New(name)
 		if err != nil {
 			r.Error = err.Error()
-			rep.Rows = append(rep.Rows, r)
+			rows = append(rows, r)
 			continue
 		}
 		rec := obs.New(nil)
-		hier := memsim.New(memsim.DefaultGeometry(), *seed)
+		hier := memsim.New(memsim.DefaultGeometry(), seed)
 		// An unlimited meter never cuts anything; it only counts, giving
 		// each row its deterministic tick total.
 		meter := budget.New(0)
 		res, err := castan.Analyze(inst, hier, castan.Config{
-			NPackets:  *packets,
-			MaxStates: *states,
-			Seed:      *seed,
+			NPackets:  packets,
+			MaxStates: states,
+			Seed:      seed,
 			Obs:       rec,
 			Budget:    meter,
+			Store:     st,
 		})
 		if err != nil {
 			r.Error = err.Error()
-			rep.Rows = append(rep.Rows, r)
+			rows = append(rows, r)
 			continue
 		}
 		r.Seconds = res.AnalysisTime.Seconds()
@@ -123,35 +170,88 @@ func main() {
 		// Ablated rerun on a fresh instance: same budgets, static-cost
 		// priority off, to record how many extra pops the baseline needs.
 		if base, err := nf.New(name); err == nil {
-			bres, err := castan.Analyze(base, memsim.New(memsim.DefaultGeometry(), *seed), castan.Config{
-				NPackets:     *packets,
-				MaxStates:    *states,
-				Seed:         *seed,
+			bres, err := castan.Analyze(base, memsim.New(memsim.DefaultGeometry(), seed), castan.Config{
+				NPackets:     packets,
+				MaxStates:    states,
+				Seed:         seed,
 				NoStaticCost: true,
+				Store:        st,
 			})
 			if err == nil {
 				r.StepsToWorstBaseline = bres.StepsToWorstPath
 			}
 		}
-		rep.Rows = append(rep.Rows, r)
-		fmt.Printf("%-12s %6.2fs  %d states, %d solver queries, %d DRAM misses, worst path in %d pops (baseline %d)\n",
+		rows = append(rows, r)
+		fmt.Printf("%-12s %6.2fs  %d states, %d solver queries, %d probe line reads, %d DRAM misses, worst path in %d pops (baseline %d)\n",
 			name, r.Seconds, r.Counters["symbex.states_explored"],
-			r.Counters["solver.queries"], r.Counters["memsim.dram_misses"],
-			r.StepsToWorst, r.StepsToWorstBaseline)
+			r.Counters["solver.queries"], r.Counters["memsim.probe_line_reads"],
+			r.Counters["memsim.dram_misses"], r.StepsToWorst, r.StepsToWorstBaseline)
 	}
-	f, err := os.Create(*out)
+	return rows
+}
+
+// compareAgainst is the perf-gate mode: re-run the baseline's exact
+// configuration and diff every deterministic effort counter. Counters are
+// compared over the intersection of the baseline's and the fresh run's
+// columns, so a baseline written before a counter existed still gates the
+// counters it has. Wall-clock fields are never compared.
+func compareAgainst(path string, tolerance float64, st *store.Store) int {
+	raw, err := os.ReadFile(path)
 	if err != nil {
 		fatal(err)
 	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", " ")
-	if err := enc.Encode(rep); err != nil {
-		fatal(err)
+	var base report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal(fmt.Errorf("decode baseline %s: %w", path, err))
 	}
-	if err := f.Close(); err != nil {
-		fatal(err)
+	if base.Schema != "castan-bench-metrics/v1" {
+		fatal(fmt.Errorf("baseline %s has schema %q, want castan-bench-metrics/v1", path, base.Schema))
 	}
-	fmt.Printf("wrote %s (%d NFs)\n", *out, len(rep.Rows))
+	names := make([]string, 0, len(base.Rows))
+	for _, r := range base.Rows {
+		names = append(names, r.NF)
+	}
+	fmt.Printf("perf gate: re-running %d NFs (packets=%d states=%d seed=%d) against %s, tolerance %.0f%%\n",
+		len(names), base.Packets, base.States, base.Seed, path, tolerance*100)
+	fresh := runRows(names, base.Packets, base.States, base.Seed, st)
+	regressions := 0
+	for i, br := range base.Rows {
+		fr := fresh[i]
+		if br.Error != "" {
+			if fr.Error == "" {
+				fmt.Printf("  %s: baseline errored (%s), fresh run succeeds — update the baseline\n", br.NF, br.Error)
+			}
+			continue
+		}
+		if fr.Error != "" {
+			fmt.Printf("FAIL %s: fresh run errored: %s\n", fr.NF, fr.Error)
+			regressions++
+			continue
+		}
+		if fr.Degraded && !br.Degraded {
+			fmt.Printf("FAIL %s: fresh run degraded, baseline did not\n", fr.NF)
+			regressions++
+		}
+		check := func(col string, bv, fv uint64) {
+			if fv > bv && float64(fv) > float64(bv)*(1+tolerance) {
+				fmt.Printf("FAIL %s: %s regressed %d -> %d (+%.1f%%)\n",
+					fr.NF, col, bv, fv, 100*(float64(fv)/float64(bv)-1))
+				regressions++
+			}
+		}
+		for col, bv := range br.Counters {
+			if fv, ok := fr.Counters[col]; ok {
+				check(col, bv, fv)
+			}
+		}
+		check("budget_ticks_used", br.BudgetTicksUsed, fr.BudgetTicksUsed)
+	}
+	if regressions > 0 {
+		fmt.Printf("perf gate: %d regression(s) beyond %.0f%% tolerance\n", regressions, tolerance*100)
+		return 1
+	}
+	fmt.Println("perf gate: all effort counters within tolerance")
+	return 0
 }
 
 func fatal(err error) {

@@ -27,6 +27,7 @@ import (
 	"castan/internal/nf"
 	"castan/internal/obs"
 	"castan/internal/pcap"
+	"castan/internal/store"
 	"castan/internal/workload"
 )
 
@@ -39,6 +40,7 @@ func main() {
 		out      = flag.String("out", "", "PCAP output path (default <nf>-castan.pcap)")
 		noCache  = flag.Bool("no-cache-model", false, "disable the cache model (ablation)")
 		modelIn  = flag.String("cache-model", "", "load a persisted contention-set model instead of discovering one")
+		storeDir = flag.String("store", "", "cross-run artifact store directory: cache models and rainbow tables are reused from it and persisted to it; a warm store skips discovery with byte-identical output")
 		report   = flag.String("report", "", "write the per-packet metrics report (JSON) to this path")
 		noRain   = flag.Bool("no-rainbow", false, "disable havoc reconciliation (ablation)")
 		validate = flag.Bool("validate", true, "replay the workload on the interpreter as a sanity check")
@@ -91,6 +93,13 @@ func main() {
 			fatal(err)
 		}
 		cfg.CacheModel = m
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Store = st
 	}
 	if *budgetT > 0 || *deadline > 0 {
 		cfg.Budget = budget.New(*budgetT)

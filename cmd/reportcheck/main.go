@@ -3,26 +3,34 @@
 // and (optionally) match an expected NF. With -require-degraded it
 // additionally asserts the run recorded stage degradations and a budget
 // tick account — the CI fault-smoke gate uses this to prove a budget-cut
-// run still emits a complete, parseable report.
+// run still emits a complete, parseable report. With -compare it asserts
+// a second report describes the identical analysis outcome: every field
+// must match except wall-clock time and the telemetry snapshot, which
+// legitimately differ between runs (e.g. a warm-store run skips
+// discovery effort). The CI store-smoke gate uses this to prove a warm
+// store changes effort, never output.
 //
 // Usage:
 //
 //	reportcheck -report report.json -nf lpm-trie -require-degraded
+//	reportcheck -report cold.json -compare warm.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
 
 	"castan/internal/castan"
 )
 
 func main() {
 	var (
-		path   = flag.String("report", "", "report JSON path")
-		nfName = flag.String("nf", "", "expected NF name (optional)")
-		reqDeg = flag.Bool("require-degraded", false, "fail unless the report records degradations and budget ticks")
+		path    = flag.String("report", "", "report JSON path")
+		nfName  = flag.String("nf", "", "expected NF name (optional)")
+		reqDeg  = flag.Bool("require-degraded", false, "fail unless the report records degradations and budget ticks")
+		compare = flag.String("compare", "", "second report that must describe the identical outcome (only analysis_seconds and telemetry may differ)")
 	)
 	flag.Parse()
 	if *path == "" {
@@ -37,6 +45,25 @@ func main() {
 	rep, err := castan.ReadReport(f)
 	if err != nil {
 		fatal(err)
+	}
+	if *compare != "" {
+		g, err := os.Open(*compare)
+		if err != nil {
+			fatal(err)
+		}
+		other, err := castan.ReadReport(g)
+		g.Close()
+		if err != nil {
+			fatal(err)
+		}
+		a, b := *rep, *other
+		// The only run-dependent fields: everything else must match.
+		a.AnalysisSeconds, b.AnalysisSeconds = 0, 0
+		a.Telemetry, b.Telemetry = nil, nil
+		if !reflect.DeepEqual(a, b) {
+			fatal(fmt.Errorf("%s and %s describe different outcomes (beyond analysis_seconds/telemetry)", *path, *compare))
+		}
+		fmt.Printf("reportcheck: %s and %s describe the identical outcome\n", *path, *compare)
 	}
 	if *nfName != "" && rep.NF != *nfName {
 		fatal(fmt.Errorf("report is for NF %q, want %q", rep.NF, *nfName))

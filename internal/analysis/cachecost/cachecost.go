@@ -276,6 +276,22 @@ func regionBase(r *analysis.RegionInfo) (uint64, bool) {
 	return 0, false
 }
 
+// ProvablyDisjoint reports whether a discovered model proves that lines
+// x and y map to different L3 contention sets, so neither can ever evict
+// the other. It is conservative: false when either line is outside the
+// model's coverage (or the model is nil). Beyond refining this package's
+// conflict relation, it is the disjointness oracle callers bind into
+// cachemodel.DiscoverConfig.Disjoint to prune re-discovery probing with
+// a prior model (cachemodel cannot import this package, so the function
+// travels as a closure).
+func ProvablyDisjoint(m *cachemodel.Model, x, y uint64) bool {
+	if m == nil {
+		return false
+	}
+	sx, sy := m.SetOf(x), m.SetOf(y)
+	return sx >= 0 && sy >= 0 && sx != sy
+}
+
 // mayConflict reports whether distinct lines x and y can contend for the
 // same cache set. With the set mapping hidden this is true unless the
 // discovered model separates them.
@@ -283,11 +299,8 @@ func (a *Analysis) mayConflict(x, y uint64) bool {
 	if x == y {
 		return false
 	}
-	if a.model != nil {
-		sx, sy := a.model.SetOf(x), a.model.SetOf(y)
-		if sx >= 0 && sy >= 0 && sx != sy {
-			return false
-		}
+	if ProvablyDisjoint(a.model, x, y) {
+		return false
 	}
 	if a.geo.Sets > 1 {
 		lb := uint64(a.geo.LineBytes)

@@ -19,7 +19,14 @@
 //   - speculative parallel work (e.g. candidate checks a parallel.First
 //     batch evaluates past the accepting index) must not charge the meter
 //     from worker closures — the orchestrator charges the
-//     sequential-equivalent effort, exactly as it records telemetry.
+//     sequential-equivalent effort, exactly as it records telemetry;
+//   - batched hot paths may charge once per batch with the batch's total
+//     (memsim.ProbeBatch charges one sum for a whole probe set rather
+//     than one Charge per access): the tick total is identical to the
+//     scalar path's, only the charge granularity — and therefore the
+//     earliest point an exhaustion check can observe the spend — is
+//     coarser, which is fine because checks only happen between batches
+//     anyway.
 //
 // Ticks are the primary budget currency because they are deterministic; a
 // wall-clock deadline is available as a secondary escape hatch via the

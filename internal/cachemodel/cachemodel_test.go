@@ -2,6 +2,7 @@ package cachemodel
 
 import (
 	"bytes"
+	"errors"
 	"path/filepath"
 	"testing"
 
@@ -263,6 +264,104 @@ func TestModelLoadRejectsGarbage(t *testing.T) {
 	if _, err := Load(bytes.NewReader([]byte(`{"assoc":4,"line_bytes":64,"sets":[[]]}`))); err == nil {
 		t.Error("empty set accepted")
 	}
+}
+
+func TestModelLoadRejectsDuplicateMembership(t *testing.T) {
+	dupAcross := `{"assoc":4,"line_bytes":64,"sets":[[4096,8192],[8192,12288]]}`
+	if _, err := Load(bytes.NewReader([]byte(dupAcross))); !errors.Is(err, ErrInconsistent) {
+		t.Errorf("address in two sets: err = %v, want ErrInconsistent", err)
+	}
+	dupWithin := `{"assoc":4,"line_bytes":64,"sets":[[4096,4096]]}`
+	if _, err := Load(bytes.NewReader([]byte(dupWithin))); !errors.Is(err, ErrInconsistent) {
+		t.Errorf("address twice in one set: err = %v, want ErrInconsistent", err)
+	}
+}
+
+// scalarProber hides memsim's ProbeBatch so discovery exercises its
+// per-probe fallback path, and counts line reads on the side.
+type scalarProber struct {
+	h     *memsim.Hierarchy
+	reads *uint64
+}
+
+func (p *scalarProber) ProbeTime(addrs []uint64, rounds int) uint64 {
+	*p.reads += uint64(len(addrs) * (rounds + 1))
+	return p.h.ProbeTime(addrs, rounds)
+}
+
+func (p *scalarProber) Reboot(id uint64) { p.h.Reboot(id) }
+
+// TestDiscoverScalarProberFallback asserts a prober without ProbeBatch
+// discovers exactly what the batch fast path does.
+func TestDiscoverScalarProberFallback(t *testing.T) {
+	g := memsim.TinyGeometry()
+	batch, err := Discover(memsim.New(g, 11), tinyConfig(pool(0, 64)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reads uint64
+	scalar, err := Discover(&scalarProber{h: memsim.New(g, 11), reads: &reads}, tinyConfig(pool(0, 64)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scalar.Sets) != len(batch.Sets) {
+		t.Fatalf("scalar found %d sets, batch %d", len(scalar.Sets), len(batch.Sets))
+	}
+	for si := range batch.Sets {
+		if got, want := scalar.Sets[si].Addrs, batch.Sets[si].Addrs; !equalAddrs(got, want) {
+			t.Errorf("set %d: scalar %v != batch %v", si, got, want)
+		}
+	}
+	if reads == 0 {
+		t.Fatal("scalar prober saw no probes")
+	}
+}
+
+// TestDiscoverDisjointPrune asserts that a (ground-truth) disjointness
+// oracle leaves the discovered model unchanged while skipping probe
+// work, the contract castan relies on when it binds
+// cachecost.ProvablyDisjoint over a prior model.
+func TestDiscoverDisjointPrune(t *testing.T) {
+	g := memsim.TinyGeometry()
+	run := func(disjoint func(a, b uint64) bool) (*Model, uint64) {
+		h := memsim.New(g, 11)
+		var reads uint64
+		cfg := tinyConfig(pool(0, 64))
+		cfg.Disjoint = disjoint
+		m, err := Discover(&scalarProber{h: h, reads: &reads}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, reads
+	}
+	base, baseReads := run(nil)
+	oracle := memsim.New(g, 11) // same seed: same hidden mapping
+	pruned, prunedReads := run(func(a, b uint64) bool {
+		return oracle.DebugContentionSet(a) != oracle.DebugContentionSet(b)
+	})
+	if len(pruned.Sets) != len(base.Sets) {
+		t.Fatalf("pruned found %d sets, base %d", len(pruned.Sets), len(base.Sets))
+	}
+	for si := range base.Sets {
+		if got, want := pruned.Sets[si].Addrs, base.Sets[si].Addrs; !equalAddrs(got, want) {
+			t.Errorf("set %d: pruned %v != base %v", si, got, want)
+		}
+	}
+	if prunedReads >= baseReads {
+		t.Errorf("prune saved nothing: %d reads with oracle, %d without", prunedReads, baseReads)
+	}
+}
+
+func equalAddrs(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // TestDiscoverWorkerCountInvariant asserts the determinism contract of

@@ -47,6 +47,14 @@ type Prober interface {
 	Reboot(bootID uint64)
 }
 
+// BatchProber is the optional fast path a Prober may offer: time many
+// independent probe sets in one call (each flushed separately, exactly
+// as consecutive ProbeTime calls would measure them). *memsim.Hierarchy
+// implements it; discovery falls back to looping ProbeTime otherwise.
+type BatchProber interface {
+	ProbeBatch(sets [][]uint64, rounds int) []uint64
+}
+
 // ContentionSet is a group of line addresses that compete for the same L3
 // ways: bringing in more than Assoc of them evicts.
 type ContentionSet struct {
@@ -98,7 +106,11 @@ type DiscoverConfig struct {
 	// LatL3 and LatDRAM are the publicly documented latencies used to set
 	// the contention threshold δ.
 	LatL3, LatDRAM uint64
-	// Rounds per probe (default 2).
+	// Rounds is the number of timed probe rounds after the warm-up pass
+	// (default 1). Every detection threshold scales with Rounds, so any
+	// value classifies identically in the noise-free simulator; one round
+	// halves the probe bill, and the margins at Rounds=1 still dwarf the
+	// ±127-tick jitter the fault-injection harness can add.
 	Rounds int
 	// MaxSets stops discovery after this many contention sets (0 = all
 	// that can be found).
@@ -124,6 +136,14 @@ type DiscoverConfig struct {
 	// orchestration point — and stops there, returning whatever partial
 	// model exists alongside ErrBudget.
 	Budget *budget.Stage
+	// Disjoint, when set, reports that two line addresses provably map to
+	// different contention sets, so they cannot evict each other. It must
+	// be conservative: false whenever the answer is unknown. The shrink
+	// and sweep phases use it to skip probes for candidates a prior
+	// (partial) model already separates from the set being grown —
+	// callers typically bind cachecost.ProvablyDisjoint over such a model
+	// (the function is injected because cachecost imports this package).
+	Disjoint func(a, b uint64) bool
 }
 
 // Discover runs the §3.2 pipeline and returns the model.
@@ -135,7 +155,7 @@ func Discover(p Prober, cfg DiscoverConfig) (*Model, error) {
 		return nil, fmt.Errorf("cachemodel: empty pool")
 	}
 	if cfg.Rounds <= 0 {
-		cfg.Rounds = 2
+		cfg.Rounds = 1
 	}
 	if cfg.Reboots == 0 {
 		cfg.Reboots = 3
@@ -218,8 +238,37 @@ func (d *discoverer) probeOn(p Prober, s []uint64) uint64 {
 	return p.ProbeTime(s, d.cfg.Rounds)
 }
 
+// probeBatchOn times many independent probe sets on one prober, using
+// the batch fast path when the prober offers it.
+func (d *discoverer) probeBatchOn(p Prober, sets [][]uint64) []uint64 {
+	if bp, ok := p.(BatchProber); ok {
+		return bp.ProbeBatch(sets, d.cfg.Rounds)
+	}
+	out := make([]uint64, len(sets))
+	for i, s := range sets {
+		out[i] = d.probeOn(p, s)
+	}
+	return out
+}
+
+// probeMany shards a batch of independent probe sets across the forked
+// probers (sequential on the root prober otherwise). Results land in
+// input order, so the answer is identical at every worker count.
+func (d *discoverer) probeMany(sets [][]uint64) []uint64 {
+	if d.forks == nil || len(sets) < 2 {
+		return d.probeBatchOn(d.p, sets)
+	}
+	out := make([]uint64, len(sets))
+	parallel.Shards(len(d.forks), len(sets), func(shard, lo, hi int) {
+		copy(out[lo:hi], d.probeBatchOn(d.forks[shard], sets[lo:hi]))
+	})
+	return out
+}
+
 // thresholds: growDelta detects "a chunk addition caused contention";
 // memberDelta detects "removing this address removed contention";
+// groupDelta detects "removing this whole group removed contention";
+// batchDelta detects "adding this candidate batch added contention";
 // sweepDelta detects "swapping this address kept contention".
 func (d *discoverer) growDelta(chunk int) uint64 {
 	signal := uint64(d.cfg.Rounds) * uint64(d.cfg.Assoc+1) * (d.cfg.LatDRAM - d.cfg.LatL3) / 2
@@ -227,32 +276,106 @@ func (d *discoverer) growDelta(chunk int) uint64 {
 	return signal + noise
 }
 
+// maxGrowChunk bounds the geometric chunk growth: the noise term of
+// growDelta scales with the chunk while the contention signal does not,
+// so beyond signal/(Rounds×LatL3) lines per chunk a real jump could
+// drown in the chunk's own (over-estimated) hit cost.
+func (d *discoverer) maxGrowChunk() int {
+	signal := uint64(d.cfg.Assoc+1) * (d.cfg.LatDRAM - d.cfg.LatL3) / 2
+	max := int(signal / d.cfg.LatL3)
+	if max < 2 {
+		max = 2
+	}
+	return max
+}
+
 func (d *discoverer) memberDelta() uint64 {
 	return uint64(d.cfg.Rounds) * uint64(d.cfg.Assoc) * (d.cfg.LatDRAM - d.cfg.LatL3) / 2
+}
+
+// groupDelta is the collapse threshold for removing a whole group of n
+// addresses at once: strays only take their own hit cost (≤ n×LatL3 per
+// round) with them, while losing a member collapses the whole set's
+// thrashing — the half-gap margin separates the two.
+func (d *discoverer) groupDelta(n int) uint64 {
+	return uint64(d.cfg.Rounds) * (uint64(n)*d.cfg.LatL3 + (d.cfg.LatDRAM-d.cfg.LatL3)/2)
+}
+
+// igniteDelta is the detection threshold for adding a batch of n
+// candidates to a core of exactly α members: the core fits the set, so
+// every core line is an L3 hit, unless the batch holds one more member —
+// then all α+1 lines thrash to DRAM. Strays add at most their own hit
+// cost (n×LatL3 per round); the ignition signal is half the full-set
+// flip, far above it.
+func (d *discoverer) igniteDelta(n int) uint64 {
+	return uint64(d.cfg.Rounds) * (uint64(n)*d.cfg.LatL3 + uint64(d.cfg.Assoc+1)*(d.cfg.LatDRAM-d.cfg.LatL3)/2)
 }
 
 func (d *discoverer) sweepDelta() uint64 {
 	return uint64(d.cfg.Rounds) * (d.cfg.LatDRAM + d.cfg.LatL3) / 2
 }
 
+// provablyNotIn reports that addr provably cannot share a contention set
+// with any of the given known members, per the injected Disjoint oracle.
+func (d *discoverer) provablyNotIn(members []uint64, addr uint64) bool {
+	if d.cfg.Disjoint == nil {
+		return false
+	}
+	for _, m := range members {
+		if d.cfg.Disjoint(m, addr) {
+			return true
+		}
+	}
+	return false
+}
+
 // findOne runs steps (1)-(3) of §3.2 once: returns the α+1.. members of
 // one contention set and the pool with those members removed.
 func (d *discoverer) findOne(pool []uint64) (set []uint64, rest []uint64, found bool) {
+	trigger := d.grow(pool)
+	if trigger < 0 {
+		return nil, pool, false
+	}
+	members := d.shrink(pool[:trigger+1], pool[trigger])
+	if len(members) < d.cfg.Assoc+1 {
+		// The jump was noise (should not happen in the simulator, but be
+		// robust): drop the trigger address and let the caller continue.
+		rest = append(append([]uint64(nil), pool[:trigger]...), pool[trigger+1:]...)
+		return nil, rest, false
+	}
+	members = d.sweep(pool, members)
+
+	inSet := map[uint64]bool{}
+	for _, a := range members {
+		inSet[a] = true
+	}
+	rest = make([]uint64, 0, len(pool)-len(members))
+	for _, a := range pool {
+		if !inSet[a] {
+			rest = append(rest, a)
+		}
+	}
+	return members, rest, true
+}
+
+// grow is step 1: extend a pool prefix until its probe time jumps by
+// more than δ, then binary-search the triggering index. Chunks grow
+// geometrically (probing a prefix costs its whole length, so constant
+// chunks make the phase quadratic) but are capped at maxGrowChunk so the
+// jump cannot hide inside the chunk-size noise term of growDelta.
+func (d *discoverer) grow(pool []uint64) int {
 	chunk := d.cfg.Assoc / 2
 	if chunk < 2 {
 		chunk = 2
 	}
-	// Step 1: grow until the probe time jumps by more than δ.
-	var s []uint64
+	maxChunk := d.maxGrowChunk()
 	prev := uint64(0)
-	trigger := -1
-	for i := 0; i < len(pool); i += chunk {
+	for i := 0; i < len(pool); {
 		end := i + chunk
 		if end > len(pool) {
 			end = len(pool)
 		}
-		s = pool[:end]
-		cur := d.probe(s)
+		cur := d.probe(pool[:end])
 		if cur > prev && cur-prev > d.growDelta(end-i) {
 			// Binary-search the smallest prefix length m in (i, end] whose
 			// probe time jumps; the triggering address is pool[m-1].
@@ -269,56 +392,156 @@ func (d *discoverer) findOne(pool []uint64) (set []uint64, rest []uint64, found 
 					lo = mid
 				}
 			}
-			trigger = hi - 1
-			break
+			return hi - 1
 		}
 		prev = cur
-	}
-	if trigger < 0 {
-		return nil, pool, false
-	}
-	s = append([]uint64(nil), pool[:trigger+1]...)
-
-	// Step 2: shrink s to exactly α+1 members of C: remove each address in
-	// turn; a drop of more than δ means it was a member (re-add it),
-	// otherwise leave it out permanently. Removing a member collapses the
-	// contention; removing a stray only saves its own hit cost.
-	full := d.probe(s)
-	for i := 0; i < len(s); {
-		without := make([]uint64, 0, len(s)-1)
-		without = append(without, s[:i]...)
-		without = append(without, s[i+1:]...)
-		t := d.probe(without)
-		if full > t && full-t > d.memberDelta() {
-			i++ // member of C: keep it
-		} else {
-			s, full = without, t // stray: drop permanently
+		i = end
+		if chunk < maxChunk {
+			chunk *= 2
+			if chunk > maxChunk {
+				chunk = maxChunk
+			}
 		}
 	}
-	members := s
-	if len(members) < d.cfg.Assoc+1 {
-		// The jump was noise (should not happen in the simulator, but be
-		// robust): drop the trigger address and let the caller continue.
-		rest = append(append([]uint64(nil), pool[:trigger]...), pool[trigger+1:]...)
-		return nil, rest, false
-	}
+	return -1
+}
 
-	// Step 3: sweep the rest of the pool for further members of C:
-	// replace one member with the candidate; if the probe time stays
-	// high, the candidate belongs to C. Each candidate's probe flushes the
-	// caches first and every page is pre-faulted, so probes are mutually
-	// independent — the sweep shards across forked probers, and the hit
-	// list is applied in pool order to keep member order identical to a
-	// sequential sweep.
+// shrink is step 2: reduce the triggering prefix to exactly the ≥ α+1
+// members of C it contains. Instead of one probe per element (quadratic
+// in the prefix), each pass partitions the set into α+2 groups, probes
+// all "set minus group" variants as one batch, and removes every group
+// whose absence kept the contention alive — those groups provably held
+// no member, and with at least α+1 members spread over α+2 groups the
+// pigeonhole principle promises progress in the common case. When no
+// group is removable the partition is refined; as a last resort one
+// pass of the original per-element scan polishes the remainder, so the
+// result is never worse than the unbatched algorithm's.
+func (d *discoverer) shrink(prefix []uint64, knownMember uint64) []uint64 {
+	s := make([]uint64, 0, len(prefix))
+	for _, a := range prefix {
+		// A prior model may already prove a prefix line disjoint from the
+		// triggering address (a certain member of C): drop it probe-free.
+		if a != knownMember && d.provablyNotIn([]uint64{knownMember}, a) {
+			continue
+		}
+		s = append(s, a)
+	}
+	groups := d.cfg.Assoc + 2
+	for len(s) > d.cfg.Assoc+1 {
+		k := groups
+		if k > len(s) {
+			k = len(s)
+		}
+		full := d.probe(s)
+		// Group g is s[bound[g]:bound[g+1]]; probe variant g is s minus
+		// group g.
+		variants := make([][]uint64, k)
+		for g := 0; g < k; g++ {
+			lo, hi := g*len(s)/k, (g+1)*len(s)/k
+			v := make([]uint64, 0, len(s)-(hi-lo))
+			v = append(v, s[:lo]...)
+			v = append(v, s[hi:]...)
+			variants[g] = v
+		}
+		times := d.probeMany(variants)
+		kept := make([]uint64, 0, len(s))
+		removed := 0
+		for g := 0; g < k; g++ {
+			lo, hi := g*len(s)/k, (g+1)*len(s)/k
+			collapsed := full > times[g] && full-times[g] > d.groupDelta(hi-lo)
+			if collapsed {
+				kept = append(kept, s[lo:hi]...) // holds a member: keep
+			} else {
+				removed += hi - lo
+			}
+		}
+		if removed > 0 {
+			s = kept
+			continue
+		}
+		if k < len(s) && groups < 4*(d.cfg.Assoc+2) {
+			groups *= 2 // members in every group: refine the partition
+			continue
+		}
+		// Fallback: one pass of the original per-element elimination.
+		for i := 0; i < len(s); {
+			without := make([]uint64, 0, len(s)-1)
+			without = append(without, s[:i]...)
+			without = append(without, s[i+1:]...)
+			t := d.probe(without)
+			if full > t && full-t > d.memberDelta() {
+				i++ // member of C: keep it
+			} else {
+				s, full = without, t // stray: drop permanently
+			}
+		}
+		break
+	}
+	return s
+}
+
+// sweep is step 3: find the remaining members of C in the rest of the
+// pool. Candidates are group-tested in batches first: a core of exactly
+// α members plus a batch of ≤ α candidates stays all-L3-hit unless the
+// batch holds another member of C, which ignites full-set thrashing — a
+// signal α+1 DRAM-class misses wide that no stray hit cost can mask (a
+// batch of ≤ α candidates can never complete a *different* set, so
+// there are no other ignition sources). Only flagged batches pay the
+// per-candidate swap probes of the original algorithm. Probes are
+// mutually independent (each flushes, every page is pre-faulted), so
+// batches shard across forked probers and the hit list is applied in
+// pool order, keeping member order identical to a sequential sweep at
+// every worker count.
+func (d *discoverer) sweep(pool, members []uint64) []uint64 {
 	inSet := map[uint64]bool{}
 	for _, a := range members {
 		inSet[a] = true
 	}
+	core := members[:d.cfg.Assoc] // exactly α: fits its set, hits after warm-up
 	base := d.probe(members)
+	baseCore := d.probe(core)
 	cands := make([]uint64, 0, len(pool)-len(members))
 	for _, a := range pool {
-		if !inSet[a] {
-			cands = append(cands, a)
+		if inSet[a] {
+			continue
+		}
+		if d.provablyNotIn(members, a) {
+			continue // provably in another set: skip without probing
+		}
+		cands = append(cands, a)
+	}
+
+	batchSize := d.cfg.Assoc // one short of completing another set
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	nBatches := (len(cands) + batchSize - 1) / batchSize
+	batches := make([][]uint64, nBatches)
+	for b := range batches {
+		lo := b * batchSize
+		hi := lo + batchSize
+		if hi > len(cands) {
+			hi = len(cands)
+		}
+		probe := make([]uint64, 0, len(core)+hi-lo)
+		probe = append(probe, core...)
+		probe = append(probe, cands[lo:hi]...)
+		batches[b] = probe
+	}
+	times := d.probeMany(batches)
+
+	// Per-candidate swap retests, only for flagged batches.
+	var retest []int
+	for b, t := range times {
+		lo := b * batchSize
+		hi := lo + batchSize
+		if hi > len(cands) {
+			hi = len(cands)
+		}
+		if t > baseCore && t-baseCore > d.igniteDelta(hi-lo) {
+			for i := lo; i < hi; i++ {
+				retest = append(retest, i)
+			}
 		}
 	}
 	hits := make([]bool, len(cands))
@@ -329,31 +552,23 @@ func (d *discoverer) findOne(pool []uint64) (set []uint64, rest []uint64, found 
 	}
 	if d.forks == nil {
 		swap := append([]uint64(nil), members...)
-		for i := range cands {
+		for _, i := range retest {
 			hits[i] = sweepOne(d.p, swap, i)
 		}
 	} else {
-		parallel.Shards(len(d.forks), len(cands), func(shard, lo, hi int) {
+		parallel.Shards(len(d.forks), len(retest), func(shard, lo, hi int) {
 			swap := append([]uint64(nil), members...)
-			for i := lo; i < hi; i++ {
-				hits[i] = sweepOne(d.forks[shard], swap, i)
+			for j := lo; j < hi; j++ {
+				hits[retest[j]] = sweepOne(d.forks[shard], swap, retest[j])
 			}
 		})
 	}
 	for i, hit := range hits {
 		if hit {
 			members = append(members, cands[i])
-			inSet[cands[i]] = true
 		}
 	}
-
-	rest = make([]uint64, 0, len(pool)-len(members))
-	for _, a := range pool {
-		if !inSet[a] {
-			rest = append(rest, a)
-		}
-	}
-	return members, rest, true
+	return members
 }
 
 // filterConsistent re-verifies every discovered set across simulated

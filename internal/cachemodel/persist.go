@@ -53,13 +53,23 @@ func Load(r io.Reader) (*Model, error) {
 		return nil, fmt.Errorf("cachemodel: invalid model (assoc %d, line %d)", mj.Assoc, mj.LineBytes)
 	}
 	m := &Model{Assoc: mj.Assoc, LineBytes: mj.LineBytes}
+	total := 0
 	for i, addrs := range mj.Sets {
 		if len(addrs) == 0 {
 			return nil, fmt.Errorf("cachemodel: empty set %d", i)
 		}
+		total += len(addrs)
 		m.Sets = append(m.Sets, ContentionSet{Addrs: addrs})
 	}
-	m.buildIndex()
+	m.Reindex()
+	// A valid model partitions its addresses: an address indexed by fewer
+	// entries than the sets claim appeared in two sets (or twice in one),
+	// which no discovery run produces — the decoded shape cannot be
+	// trusted just because it parsed (models now travel through the
+	// on-disk store, where a corrupt payload must read as a miss).
+	if len(m.setOf) != total {
+		return nil, fmt.Errorf("%w: %d addresses indexed across %d set entries (duplicate membership)", ErrInconsistent, len(m.setOf), total)
+	}
 	return m, nil
 }
 

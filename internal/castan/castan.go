@@ -14,6 +14,7 @@
 package castan
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sort"
@@ -37,6 +38,7 @@ import (
 	"castan/internal/rainbow"
 	"castan/internal/solver"
 	"castan/internal/stats"
+	"castan/internal/store"
 	"castan/internal/symbex"
 )
 
@@ -90,6 +92,26 @@ type Config struct {
 	// byte-identical at every worker count (DESIGN.md decision 8), and
 	// the snapshot lands in Output.Telemetry.
 	Obs *obs.Recorder
+	// Store, when non-nil, is the cross-run artifact store: the discovered
+	// cache model and the rainbow tables are looked up by a canonical
+	// content key before being derived, and persisted after a clean
+	// derivation. A warm store lets Analyze skip discovery probing
+	// entirely, with byte-identical output (discovery always leaves the
+	// hierarchy in the same rebooted state it would start from). Stale or
+	// corrupt entries read as misses and are re-derived and overwritten;
+	// degraded or partial artifacts are never persisted; fault-injection
+	// runs bypass the store entirely so a corrupted artifact can never
+	// reach it. Lookup outcomes land on the castan.store.{hits,misses,
+	// writes} counters, bumped on the pipeline goroutine only, so they
+	// are invariant under Workers.
+	Store *store.Store
+	// PriorModel, when non-nil, serves as a conservative disjointness
+	// oracle during discovery: pool lines it places in different
+	// contention sets provably cannot evict each other, so discovery
+	// skips probes that cannot change the answer. It only prunes effort —
+	// the discovered model is identical with or without it — and is
+	// therefore excluded from the store key.
+	PriorModel *cachemodel.Model
 	// Budget, when non-nil, bounds the run in deterministic ticks
 	// (symbex state pops, solver steps, probe line reads, rainbow chain
 	// links) with an optional wall-clock deadline. On exhaustion the
@@ -271,7 +293,7 @@ func Analyze(inst *nf.Instance, hier *memsim.Hierarchy, cfg Config) (*Output, er
 		model = cfg.CacheModel
 	case len(regions) > 0:
 		var derr error
-		model, derr = discoverModel(regions, hier, cfg)
+		model, derr = discoverModel(regions, hier, cfg, rec)
 		switch {
 		case derr == nil:
 		case errors.Is(derr, cachemodel.ErrBudget) && model != nil:
@@ -548,11 +570,36 @@ func staticAttackRegions(mr *analysis.MemRegions) []nf.Region {
 	return regions
 }
 
+// errStoreSkip marks a store.Do computation whose result must not be
+// persisted: discovery degraded (budget cut, filter wipeout) or found
+// nothing. The caller unpacks the real (model, error) pair from the
+// closure; the store only ever sees this sentinel.
+var errStoreSkip = errors.New("castan: artifact not persistable")
+
+// modelStoreKey derives the content address of a discovered model: every
+// input that can change the model's bytes is included (plus an algorithm
+// revision salt, bumped whenever the discovery pipeline itself changes);
+// Workers and PriorModel are deliberately excluded because neither may
+// influence the output, only the effort.
+func modelStoreKey(geo memsim.Geometry, regions []nf.Region, cfg Config) string {
+	parts := []string{
+		"discover/v2",
+		fmt.Sprintf("geo=%+v", geo),
+		fmt.Sprintf("seed=%d stride=%d cap=%d maxsets=%d",
+			cfg.Seed, cfg.DiscoverStride, cfg.DiscoverPoolCap, cfg.DiscoverMaxSets),
+	}
+	for _, r := range regions {
+		parts = append(parts, fmt.Sprintf("region=%s@%#x+%d", r.Name, r.Addr, r.Size))
+	}
+	return store.Key(parts...)
+}
+
 // discoverModel builds the contention-set model over the given attack
-// regions. (nil, nil) means there was nothing to probe; sentinel errors
-// from cachemodel distinguish the benign no-sets outcome (the paper's LPM
+// regions, consulting the cross-run store first when one is configured.
+// (nil, nil) means there was nothing to probe; sentinel errors from
+// cachemodel distinguish the benign no-sets outcome (the paper's LPM
 // two-stage result) from a budget cut or a suspicious filter wipeout.
-func discoverModel(regions []nf.Region, hier *memsim.Hierarchy, cfg Config) (*cachemodel.Model, error) {
+func discoverModel(regions []nf.Region, hier *memsim.Hierarchy, cfg Config, rec *obs.Recorder) (*cachemodel.Model, error) {
 	geo := hier.Geometry()
 	stride := uint64(cfg.DiscoverStride * geo.LineBytes)
 	var pool []uint64
@@ -574,18 +621,82 @@ func discoverModel(regions []nf.Region, hier *memsim.Hierarchy, cfg Config) (*ca
 		rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
 		pool = pool[:poolCap]
 	}
-	return cachemodel.Discover(hier, cachemodel.DiscoverConfig{
-		Pool:      pool,
-		Assoc:     geo.L3Assoc(),
-		LineBytes: geo.LineBytes,
-		LatL3:     geo.LatL3,
-		LatDRAM:   geo.LatDRAM,
-		MaxSets:   cfg.DiscoverMaxSets,
-		Seed:      cfg.Seed,
-		Workers:   cfg.Workers,
-		Fork:      func() cachemodel.Prober { return hier.Fork() },
-		Budget:    cfg.Budget.Stage(budget.StageDiscover),
+	discover := func() (*cachemodel.Model, error) {
+		dcfg := cachemodel.DiscoverConfig{
+			Pool:      pool,
+			Assoc:     geo.L3Assoc(),
+			LineBytes: geo.LineBytes,
+			LatL3:     geo.LatL3,
+			LatDRAM:   geo.LatDRAM,
+			MaxSets:   cfg.DiscoverMaxSets,
+			Seed:      cfg.Seed,
+			Workers:   cfg.Workers,
+			Fork:      func() cachemodel.Prober { return hier.Fork() },
+			Budget:    cfg.Budget.Stage(budget.StageDiscover),
+		}
+		if pm := cfg.PriorModel; pm != nil {
+			dcfg.Disjoint = func(a, b uint64) bool { return cachecost.ProvablyDisjoint(pm, a, b) }
+		}
+		return cachemodel.Discover(hier, dcfg)
+	}
+	st := cfg.Store
+	if cfg.Faults.Enabled() {
+		// A faulted run may derive a corrupted model; it must neither
+		// trust nor feed the shared store.
+		st = nil
+	}
+	if st == nil {
+		return discover()
+	}
+
+	key := modelStoreKey(geo, regions, cfg)
+	var gotModel *cachemodel.Model
+	var gotErr error
+	ran := false
+	payload, hit, err := st.Do(store.KindModel, key, func() ([]byte, error) {
+		ran = true
+		gotModel, gotErr = discover()
+		if gotErr != nil || gotModel == nil {
+			return nil, errStoreSkip
+		}
+		var buf bytes.Buffer
+		if err := gotModel.Save(&buf); err != nil {
+			return nil, errStoreSkip
+		}
+		return buf.Bytes(), nil
 	})
+	if err == nil && hit {
+		// Served from disk or from another caller's flight. Load validates
+		// internal consistency, so a decodable-but-inconsistent payload
+		// degrades to a miss below instead of poisoning the pipeline.
+		if m, lerr := cachemodel.Load(bytes.NewReader(payload)); lerr == nil {
+			rec.Counter("castan.store.hits").Inc()
+			return m, nil
+		}
+	}
+	rec.Counter("castan.store.misses").Inc()
+	if ran {
+		// This caller ran discovery inside the flight. err == nil means
+		// the payload was persisted too; a failed Put (or a skipped
+		// persist) still leaves a perfectly usable model.
+		if err == nil {
+			rec.Counter("castan.store.writes").Inc()
+		}
+		return gotModel, gotErr
+	}
+	// Miss without having computed: the flight's outcome was unusable (a
+	// memoized skip/error from an earlier run, or a stored payload that
+	// failed validation). Re-derive directly and heal the store entry.
+	m, derr := discover()
+	if derr == nil && m != nil {
+		var buf bytes.Buffer
+		if serr := m.Save(&buf); serr == nil {
+			if st.Put(store.KindModel, key, buf.Bytes()) == nil {
+				rec.Counter("castan.store.writes").Inc()
+			}
+		}
+	}
+	return m, derr
 }
 
 // concretize reconciles the state's havocs and solves its constraints
@@ -750,23 +861,56 @@ func buildRainbowTables(inst *nf.Instance, cfg Config, staticHashIDs map[int]boo
 		}
 		key := fmt.Sprintf("%s/%d/%d/%T%v", inst.Name, h.HashID, h.Bits, h.Space, h.Space)
 		h := h
+		// rcfg.Obs stays nil on purpose: cached tables outlive one
+		// Analyze, so a build-time recorder would credit all chain
+		// work to whichever run built the table first. Counting below
+		// from the finished table charges every run identically,
+		// cache hit or fresh build.
+		rcfg := rainbow.DefaultConfig(h.Bits)
+		rcfg.Chains *= cfg.RainbowCoverage
+		rcfg.Workers = cfg.Workers
+		rcfg.Corrupt = corrupt
+		diskStore := cfg.Store
+		if cfg.Faults.Enabled() {
+			// Faulted runs must neither trust the shared store nor feed
+			// it a possibly corrupted table.
+			diskStore = nil
+		}
+		diskKey := store.Key("rainbow/v1", key,
+			fmt.Sprintf("chains=%d len=%d seed=%d", rcfg.Chains, rcfg.ChainLen, rcfg.Seed))
 		build := func() (*rainbow.Table, error) {
-			// rcfg.Obs stays nil on purpose: cached tables outlive one
-			// Analyze, so a build-time recorder would credit all chain
-			// work to whichever run built the table first. Counting below
-			// from the finished table charges every run identically,
-			// cache hit or fresh build.
-			rcfg := rainbow.DefaultConfig(h.Bits)
-			rcfg.Chains *= cfg.RainbowCoverage
-			rcfg.Workers = cfg.Workers
-			rcfg.Corrupt = corrupt
-			return rainbow.Build(h.Fn, h.Space, rcfg)
+			// Disk first: a stored table is only trusted after a
+			// SelfCheck rewalks sample chains from the build seed —
+			// decodable bytes with wrong chain data (tampering, torn
+			// concurrent writers) are indistinguishable from a healthy
+			// table any other way. Any failure is a plain miss.
+			if payload, ok := diskStore.Get(store.KindRainbow, diskKey); ok {
+				if tbl, lerr := rainbow.LoadTable(payload, h.Fn, h.Space); lerr == nil && tbl.SelfCheck(4) == nil {
+					cfg.Obs.Counter("castan.store.hits").Inc()
+					return tbl, nil
+				}
+			}
+			if diskStore != nil {
+				cfg.Obs.Counter("castan.store.misses").Inc()
+			}
+			tbl, err := rainbow.Build(h.Fn, h.Space, rcfg)
+			if err != nil {
+				return nil, err
+			}
+			if data, serr := tbl.Serialize(); serr == nil {
+				if diskStore.Put(store.KindRainbow, diskKey, data) == nil && diskStore != nil {
+					cfg.Obs.Counter("castan.store.writes").Inc()
+				}
+			}
+			return tbl, nil
 		}
 		var tbl *rainbow.Table
 		var err error
 		if corrupt != nil {
 			// A corrupted table must never enter the shared cross-run
-			// cache, so fault runs build privately and eat the cost.
+			// cache, so fault runs build privately and eat the cost
+			// (diskStore is already nil under faults, so the corrupted
+			// table cannot be persisted either).
 			tbl, err = build()
 		} else {
 			tbl, err = rainbowCache.Do(key, build)

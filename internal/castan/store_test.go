@@ -1,0 +1,251 @@
+package castan
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"castan/internal/faultinject"
+	"castan/internal/memsim"
+	"castan/internal/nf"
+	"castan/internal/obs"
+	"castan/internal/parallel"
+	"castan/internal/rainbow"
+	"castan/internal/store"
+)
+
+// resetRainbowCache empties the process-wide rainbow single-flight so the
+// next Analyze must go through the on-disk store, as a fresh process
+// would. (The only cost to later tests is a rebuild.)
+func resetRainbowCache() { rainbowCache = parallel.Group[string, *rainbow.Table]{} }
+
+// analyzeStored runs one Analyze against the store directory with its own
+// store handle and recorder — the shape of separate processes sharing a
+// store.
+func analyzeStored(t *testing.T, name, dir string, cfg Config) (*Output, *obs.Recorder) {
+	t.Helper()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.New(obs.NewFakeClock(1))
+	cfg.Store = st
+	cfg.Obs = rec
+	inst, err := nf.New(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier := memsim.New(memsim.DefaultGeometry(), 2024)
+	out, err := Analyze(inst, hier, cfg)
+	if err != nil {
+		t.Fatalf("Analyze(%s): %v", name, err)
+	}
+	return out, rec
+}
+
+// storedComparable zeroes the only fields that legitimately differ
+// between a cold and a warm run of the same analysis: wall-clock time and
+// the telemetry snapshot (which records discovery effort).
+func storedComparable(o *Output) Output {
+	c := *o
+	c.AnalysisTime = 0
+	c.Telemetry = nil
+	return c
+}
+
+func TestStoreWarmRunSkipsDiscovery(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{NPackets: 20, MaxStates: 3000, Seed: 1}
+	cold, recCold := analyzeStored(t, "lpm-dl1", dir, cfg)
+	if cold.ContentionSetsFound == 0 {
+		t.Fatal("cold run found no contention sets")
+	}
+	if v := recCold.Counter("castan.store.misses").Value(); v == 0 {
+		t.Error("cold run recorded no store miss")
+	}
+	if v := recCold.Counter("castan.store.writes").Value(); v == 0 {
+		t.Error("cold run persisted nothing")
+	}
+	if v := recCold.Counter("memsim.probe_line_reads").Value(); v == 0 {
+		t.Error("cold run did not probe")
+	}
+
+	warm, recWarm := analyzeStored(t, "lpm-dl1", dir, cfg)
+	if v := recWarm.Counter("castan.store.hits").Value(); v != 1 {
+		t.Errorf("warm run store hits = %d, want 1", v)
+	}
+	if v := recWarm.Counter("castan.store.misses").Value(); v != 0 {
+		t.Errorf("warm run store misses = %d, want 0", v)
+	}
+	if v := recWarm.Counter("memsim.probe_line_reads").Value(); v != 0 {
+		t.Errorf("warm run still probed: %d line reads", v)
+	}
+	if !reflect.DeepEqual(storedComparable(cold), storedComparable(warm)) {
+		t.Error("warm output differs from cold output")
+	}
+}
+
+func TestStoreCorruptModelEntryReadsAsMiss(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{NPackets: 20, MaxStates: 3000, Seed: 1}
+	cold, _ := analyzeStored(t, "lpm-dl1", dir, cfg)
+
+	files, err := filepath.Glob(filepath.Join(dir, store.KindModel+"-*.json"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("model entries on disk: %v (%v)", files, err)
+	}
+	if err := os.WriteFile(files[0], []byte("\x00\xffnot an envelope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	warm, rec := analyzeStored(t, "lpm-dl1", dir, cfg)
+	if v := rec.Counter("castan.store.hits").Value(); v != 0 {
+		t.Errorf("corrupt entry served as hit (%d)", v)
+	}
+	if v := rec.Counter("castan.store.misses").Value(); v == 0 {
+		t.Error("corrupt entry not recorded as miss")
+	}
+	if v := rec.Counter("memsim.probe_line_reads").Value(); v == 0 {
+		t.Error("corrupt entry did not trigger re-discovery")
+	}
+	if v := rec.Counter("castan.store.writes").Value(); v == 0 {
+		t.Error("re-discovered model not written back")
+	}
+	if !reflect.DeepEqual(storedComparable(cold), storedComparable(warm)) {
+		t.Error("re-discovered output differs from cold output")
+	}
+
+	// The overwrite healed the entry: a third run hits.
+	_, rec3 := analyzeStored(t, "lpm-dl1", dir, cfg)
+	if v := rec3.Counter("castan.store.hits").Value(); v != 1 {
+		t.Errorf("healed entry not hit: hits = %d", v)
+	}
+}
+
+// TestStoreRainbowSelfCheckGate covers the rainbow trust boundary end to
+// end through the store: a persisted table is only used after SelfCheck
+// rewalks sample chains, so an entry whose bytes decode fine but whose
+// chain data was tampered with is rebuilt from scratch and overwritten —
+// it can never reach reconciliation.
+func TestStoreRainbowSelfCheckGate(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{NPackets: 10, MaxStates: 4000, Seed: 1}
+	resetRainbowCache()
+	cold, _ := analyzeStored(t, "lb-chain", dir, cfg)
+
+	rfiles, err := filepath.Glob(filepath.Join(dir, store.KindRainbow+"-*.json"))
+	if err != nil || len(rfiles) == 0 {
+		t.Fatalf("no rainbow entries persisted: %v (%v)", rfiles, err)
+	}
+
+	// Fresh "process": tables come from disk, after the self-check.
+	resetRainbowCache()
+	warm, recWarm := analyzeStored(t, "lb-chain", dir, cfg)
+	if v := recWarm.Counter("castan.store.hits").Value(); v == 0 {
+		t.Error("warm run loaded no artifacts from the store")
+	}
+	if !reflect.DeepEqual(storedComparable(cold), storedComparable(warm)) {
+		t.Error("warm output differs from cold output")
+	}
+
+	// Tamper with the chain data inside the (valid) envelopes: every end
+	// hash is flipped, so LoadTable succeeds but every chain rewalk fails.
+	type endJSON struct {
+		End    uint64   `json:"end"`
+		Starts []uint64 `json:"starts"`
+	}
+	var tamperedBytes [][]byte
+	for _, f := range rfiles {
+		raw, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var env struct {
+			Schema  string          `json:"schema"`
+			Kind    string          `json:"kind"`
+			Key     string          `json:"key"`
+			Payload json.RawMessage `json:"payload"`
+		}
+		if err := json.Unmarshal(raw, &env); err != nil {
+			t.Fatal(err)
+		}
+		var tj struct {
+			Bits     int       `json:"bits"`
+			ChainLen int       `json:"chain_len"`
+			Seed     uint64    `json:"seed"`
+			NChains  int       `json:"nchains"`
+			Ends     []endJSON `json:"ends"`
+		}
+		if err := json.Unmarshal(env.Payload, &tj); err != nil {
+			t.Fatal(err)
+		}
+		for i := range tj.Ends {
+			tj.Ends[i].End ^= 0xdeadbeef
+		}
+		payload, err := json.Marshal(tj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env.Payload = payload
+		mangled, err := json.Marshal(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(f, mangled, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		tamperedBytes = append(tamperedBytes, mangled)
+	}
+
+	resetRainbowCache()
+	out3, rec3 := analyzeStored(t, "lb-chain", dir, cfg)
+	if v := rec3.Counter("castan.store.misses").Value(); v == 0 {
+		t.Error("tampered rainbow entry was trusted")
+	}
+	if v := rec3.Counter("castan.store.writes").Value(); v == 0 {
+		t.Error("rebuilt table not written back")
+	}
+	if !reflect.DeepEqual(storedComparable(cold), storedComparable(out3)) {
+		t.Error("output through tampered store differs from cold output")
+	}
+	for i, f := range rfiles {
+		healed, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(healed, tamperedBytes[i]) {
+			t.Errorf("entry %s not healed after rebuild", filepath.Base(f))
+		}
+	}
+}
+
+// TestStoreFaultedRunBypassesStore pins the never-cache-corrupted rule: a
+// run with fault injection armed must neither read nor write the store,
+// so a corrupted artifact cannot poison later clean runs.
+func TestStoreFaultedRunBypassesStore(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		NPackets:  6,
+		MaxStates: 2500,
+		Seed:      1,
+		Faults:    &faultinject.Plan{Name: "chain-corrupt", Seed: 3, CorruptChainEvery: 1},
+	}
+	resetRainbowCache()
+	_, rec := analyzeStored(t, "lb-chain", dir, cfg)
+	files, err := filepath.Glob(filepath.Join(dir, "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 0 {
+		t.Fatalf("faulted run persisted artifacts: %v", files)
+	}
+	for _, name := range []string{"castan.store.hits", "castan.store.misses", "castan.store.writes"} {
+		if v := rec.Counter(name).Value(); v != 0 {
+			t.Errorf("faulted run touched the store: %s = %d", name, v)
+		}
+	}
+	resetRainbowCache()
+}

@@ -19,6 +19,7 @@ import (
 	"castan/internal/obs"
 	"castan/internal/parallel"
 	"castan/internal/stats"
+	"castan/internal/store"
 	"castan/internal/testbed"
 	"castan/internal/workload"
 )
@@ -56,6 +57,10 @@ type Config struct {
 	// Faults arms the same fault plan on every per-NF analysis (tests
 	// and chaos campaigns only).
 	Faults *faultinject.Plan
+	// Store, when non-nil, is the cross-run artifact store every per-NF
+	// analysis consults for its cache model and rainbow tables (see
+	// castan.Config.Store).
+	Store *store.Store
 }
 
 func (c *Config) fill() {
@@ -139,6 +144,7 @@ func (c *Campaign) Castan(nfName string) (*castan.Output, error) {
 			Workers:   c.cfg.Workers,
 			Obs:       c.cfg.Obs,
 			Faults:    c.cfg.Faults,
+			Store:     c.cfg.Store,
 		}
 		if c.cfg.CastanBudget > 0 {
 			ccfg.Budget = budget.New(c.cfg.CastanBudget)

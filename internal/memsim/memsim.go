@@ -226,6 +226,35 @@ type Hierarchy struct {
 	// be a pure function of its inputs so forks replaying the same
 	// probes see the same corruption.
 	probeFault func(addrs []uint64, t uint64) uint64
+
+	// scratch holds ProbeBatch's per-address precomputed indices. A
+	// hierarchy is goroutine-confined (parallel discovery forks first),
+	// so reusing it across probes is safe and keeps the tight loop
+	// allocation-free.
+	scratch probeScratch
+}
+
+// probeScratch caches the per-address translation work ProbeBatch does
+// once per probe set: the line tag and the L1/L2/L3 set indices. The
+// page mapping cannot change mid-probe, so the warm-up pass and every
+// timed round reuse the same entries instead of re-translating per
+// access like the general Access path must.
+type probeScratch struct {
+	tag                 []uint64
+	l1set, l2set, l3set []int32
+}
+
+func (s *probeScratch) grow(n int) {
+	if cap(s.tag) < n {
+		s.tag = make([]uint64, n)
+		s.l1set = make([]int32, n)
+		s.l2set = make([]int32, n)
+		s.l3set = make([]int32, n)
+	}
+	s.tag = s.tag[:n]
+	s.l1set = s.l1set[:n]
+	s.l2set = s.l2set[:n]
+	s.l3set = s.l3set[:n]
 }
 
 // SetObs points the hierarchy's telemetry at rec (nil disables it).
@@ -457,29 +486,109 @@ func (h *Hierarchy) InjectPacket(vaddr uint64, length int) {
 // Caches are flushed first so measurements are reproducible; the first
 // (cold) round is excluded from the returned time, like a warm-up pass.
 func (h *Hierarchy) ProbeTime(addrs []uint64, rounds int) uint64 {
+	return h.ProbeBatch([][]uint64{addrs}, rounds)[0]
+}
+
+// ProbeBatch measures every probe set in sets as ProbeTime would, one
+// after another, and returns the per-set timings. The batch form is the
+// discovery hot path: obs counters are accumulated locally and flushed
+// once, the probe budget is charged once for the whole batch (the same
+// total ProbeTime would charge per call, and charges are commutative
+// atomic adds, so the accounting is call-shape invariant), and the
+// per-address translation and set-index work is done once per set
+// instead of once per access. Timings are bit-identical to looping
+// ProbeTime: the flush/warm-up/round access sequence is unchanged.
+func (h *Hierarchy) ProbeBatch(sets [][]uint64, rounds int) []uint64 {
 	if rounds < 1 {
 		rounds = 1
 	}
-	h.obs.probeCalls.Inc()
-	h.obs.probeLineReads.Add(uint64(len(addrs) * (rounds + 1)))
-	h.probeBudget.Charge(uint64(len(addrs) * (rounds + 1)))
+	var lineReads uint64
+	for _, addrs := range sets {
+		lineReads += uint64(len(addrs) * (rounds + 1))
+	}
+	h.obs.probeCalls.Add(uint64(len(sets)))
+	h.obs.probeLineReads.Add(lineReads)
+	h.probeBudget.Charge(lineReads)
+
+	out := make([]uint64, len(sets))
+	var acc Counters
+	var evictions uint64
+	for i, addrs := range sets {
+		out[i] = h.probeSet(addrs, rounds, &acc, &evictions)
+	}
+	h.obs.accesses.Add(acc.Accesses)
+	h.obs.l1Hits.Add(acc.L1Hits)
+	h.obs.l2Hits.Add(acc.L2Hits)
+	h.obs.l3Hits.Add(acc.L3Hits)
+	h.obs.dram.Add(acc.DRAM)
+	h.obs.l3Evictions.Add(evictions)
+	return out
+}
+
+// probeSet times one probe set with precomputed line indices; per-level
+// tallies land in acc (NF-visible Stats are never touched, matching the
+// save/restore the scalar path used).
+func (h *Hierarchy) probeSet(addrs []uint64, rounds int, acc *Counters, evictions *uint64) uint64 {
 	h.Flush()
-	saved := h.Stats
-	for _, a := range addrs {
-		h.accessLine(a &^ (uint64(h.geo.LineBytes) - 1))
+	n := len(addrs)
+	sc := &h.scratch
+	sc.grow(n)
+	lineMask := ^(uint64(h.geo.LineBytes) - 1)
+	shift := lineShift(h.geo)
+	// First-touch page allocation happens here in address order — the
+	// same order the scalar warm-up pass would allocate in.
+	for i, a := range addrs {
+		pline := h.translate(a&lineMask) >> shift
+		sc.tag[i] = pline + 1
+		sc.l1set[i] = int32(pline % uint64(h.geo.L1Sets))
+		sc.l2set[i] = int32(pline % uint64(h.geo.L2Sets))
+		sc.l3set[i] = int32(h.l3Set(pline))
 	}
 	var total uint64
-	for r := 0; r < rounds; r++ {
-		for _, a := range addrs {
-			_, cyc := h.accessLine(a &^ (uint64(h.geo.LineBytes) - 1))
-			total += cyc
+	for r := 0; r <= rounds; r++ {
+		for i := 0; i < n; i++ {
+			cyc := h.probeLine(sc.tag[i], int(sc.l1set[i]), int(sc.l2set[i]), int(sc.l3set[i]), acc, evictions)
+			if r > 0 { // round 0 is the excluded warm-up pass
+				total += cyc
+			}
 		}
 	}
-	h.Stats = saved
+	acc.Accesses += uint64(n * (rounds + 1))
 	if h.probeFault != nil {
 		total = h.probeFault(addrs, total)
 	}
 	return total
+}
+
+// probeLine is accessLine with translation and set selection hoisted out;
+// the lookup/insert/invalidate sequence (and thus LRU clock evolution) is
+// identical.
+func (h *Hierarchy) probeLine(tag uint64, l1set, l2set, l3set int, acc *Counters, evictions *uint64) uint64 {
+	if h.l1.lookup(l1set, tag) {
+		acc.L1Hits++
+		return h.geo.LatL1
+	}
+	if h.l2.lookup(l2set, tag) {
+		acc.L2Hits++
+		h.l1.insert(l1set, tag)
+		return h.geo.LatL2
+	}
+	if h.l3.lookup(l3set, tag) {
+		acc.L3Hits++
+		h.l2.insert(l2set, tag)
+		h.l1.insert(l1set, tag)
+		return h.geo.LatL3
+	}
+	acc.DRAM++
+	if evicted := h.l3.insert(l3set, tag); evicted != 0 {
+		*evictions++
+		ep := evicted - 1
+		h.l1.invalidate(int(ep%uint64(h.geo.L1Sets)), evicted)
+		h.l2.invalidate(int(ep%uint64(h.geo.L2Sets)), evicted)
+	}
+	h.l2.insert(l2set, tag)
+	h.l1.insert(l1set, tag)
+	return h.geo.LatDRAM
 }
 
 // CyclesToNanos converts cycles to nanoseconds at the configured clock.

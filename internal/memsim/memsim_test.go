@@ -1,6 +1,9 @@
 package memsim
 
 import (
+	"castan/internal/budget"
+	"castan/internal/obs"
+
 	"testing"
 )
 
@@ -245,6 +248,52 @@ func TestCountersPartition(t *testing.T) {
 	s := h.Stats
 	if s.L1Hits+s.L2Hits+s.L3Hits+s.DRAM != s.Accesses {
 		t.Errorf("counters do not partition: %+v", s)
+	}
+}
+
+func TestProbeBatchMatchesScalarProbes(t *testing.T) {
+	sets := [][]uint64{
+		{0, 64, 128, 192, 4096, 8192},
+		{0x100000, 0x100040, 0x200000},
+		nil,
+		{0, 64, 128, 192, 4096, 8192}, // repeat: warm scratch reuse
+	}
+	mk := func() (*Hierarchy, *obs.Recorder, *budget.Meter) {
+		rec := obs.New(obs.NewFakeClock(1))
+		m := budget.New(1 << 40)
+		h := New(DefaultGeometry(), 77)
+		h.SetObs(rec)
+		h.SetBudget(m.Stage("discover"))
+		return h, rec, m
+	}
+
+	hs, recS, ms := mk()
+	want := make([]uint64, len(sets))
+	for i, s := range sets {
+		want[i] = hs.ProbeTime(s, 2)
+	}
+	hb, recB, mb := mk()
+	got := hb.ProbeBatch(sets, 2)
+
+	for i := range sets {
+		if got[i] != want[i] {
+			t.Errorf("set %d: batch time %d != scalar time %d", i, got[i], want[i])
+		}
+	}
+	if hb.Stats != (Counters{}) {
+		t.Errorf("probe traffic leaked into Stats: %+v", hb.Stats)
+	}
+	for _, name := range []string{
+		"memsim.accesses", "memsim.l1_hits", "memsim.l2_hits",
+		"memsim.l3_hits", "memsim.dram_misses", "memsim.l3_evictions",
+		"memsim.probe_calls", "memsim.probe_line_reads",
+	} {
+		if b, s := recB.Counter(name).Value(), recS.Counter(name).Value(); b != s {
+			t.Errorf("%s: batch %d != scalar %d", name, b, s)
+		}
+	}
+	if bu, su := mb.Used("discover"), ms.Used("discover"); bu != su || bu == 0 {
+		t.Errorf("budget ticks: batch %d, scalar %d", bu, su)
 	}
 }
 

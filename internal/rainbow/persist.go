@@ -1,0 +1,91 @@
+package rainbow
+
+// Table serialization for the cross-run store. A table's identity is
+// (hash function, key space, build config); only the derived chain data
+// travels — the hash and key space are code, reattached on load. The
+// caller owns integrity: a loaded table must pass SelfCheck before it is
+// trusted, because these bytes may come from a torn or tampered file
+// (the store treats undecodable entries as misses, but decodable-yet-
+// wrong chain data is only detectable by rewalking chains).
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"castan/internal/nfhash"
+)
+
+// tableJSON is the serialized form. Ends are flattened into pairs
+// sorted by end hash, so serializing the same table always produces the
+// same bytes (the in-memory map iterates randomly).
+type tableJSON struct {
+	Bits     int       `json:"bits"`
+	ChainLen int       `json:"chain_len"`
+	Seed     uint64    `json:"seed"`
+	NChains  int       `json:"nchains"`
+	Ends     []endJSON `json:"ends"`
+}
+
+type endJSON struct {
+	End    uint64   `json:"end"`
+	Starts []uint64 `json:"starts"`
+}
+
+// Serialize encodes the table's chain data deterministically.
+func (t *Table) Serialize() ([]byte, error) {
+	tj := tableJSON{
+		Bits:     t.bits,
+		ChainLen: t.chainLen,
+		Seed:     t.seed,
+		NChains:  t.nchains,
+		Ends:     make([]endJSON, 0, len(t.ends)),
+	}
+	for end, starts := range t.ends {
+		tj.Ends = append(tj.Ends, endJSON{End: end, Starts: starts})
+	}
+	sort.Slice(tj.Ends, func(i, j int) bool { return tj.Ends[i].End < tj.Ends[j].End })
+	return json.Marshal(tj)
+}
+
+// LoadTable rebuilds a table from Serialize's output, reattaching the
+// hash function and key space the table was built over (they are part
+// of the caller's store key, so a mismatch cannot alias silently — but
+// it would also be caught by SelfCheck, which callers must run before
+// trusting the result).
+func LoadTable(data []byte, hash func([]byte) uint64, space nfhash.KeySpace) (*Table, error) {
+	var tj tableJSON
+	if err := json.Unmarshal(data, &tj); err != nil {
+		return nil, fmt.Errorf("rainbow: decode table: %w", err)
+	}
+	if tj.Bits <= 0 || tj.Bits > 32 {
+		return nil, fmt.Errorf("rainbow: unsupported hash width %d", tj.Bits)
+	}
+	if tj.ChainLen <= 0 || tj.NChains <= 0 {
+		return nil, fmt.Errorf("rainbow: bad table size %d×%d", tj.NChains, tj.ChainLen)
+	}
+	t := &Table{
+		hash:     nfhash.Masked(hash, tj.Bits),
+		bits:     tj.Bits,
+		space:    space,
+		chainLen: tj.ChainLen,
+		seed:     tj.Seed,
+		ends:     make(map[uint64][]uint64, len(tj.Ends)),
+	}
+	total := 0
+	for _, e := range tj.Ends {
+		if len(e.Starts) == 0 {
+			return nil, fmt.Errorf("rainbow: end %#x with no starts", e.End)
+		}
+		if _, dup := t.ends[e.End]; dup {
+			return nil, fmt.Errorf("rainbow: duplicate end %#x", e.End)
+		}
+		t.ends[e.End] = e.Starts
+		total += len(e.Starts)
+	}
+	if total != tj.NChains {
+		return nil, fmt.Errorf("rainbow: %d chains serialized, header says %d", total, tj.NChains)
+	}
+	t.nchains = total
+	return t, nil
+}

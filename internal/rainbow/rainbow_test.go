@@ -1,6 +1,7 @@
 package rainbow
 
 import (
+	"encoding/json"
 	"testing"
 
 	"castan/internal/nfhash"
@@ -170,6 +171,112 @@ func TestSelfCheckPassesOnHealthyTable(t *testing.T) {
 	}
 	if err := tbl.SelfCheck(8); err != nil {
 		t.Fatalf("sampled self-check failed: %v", err)
+	}
+}
+
+func TestSerializeLoadRoundTrip(t *testing.T) {
+	space := nfhash.UDPFlowSpace{SrcNet: 0x0a00, DstIP: 0xc0a80101, DstPort: 80}
+	tbl, err := Build(nfhash.TableHash, space, DefaultConfig(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := tbl.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serialization is deterministic despite the map-backed index.
+	again, err := tbl.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(again) {
+		t.Fatal("repeated Serialize produced different bytes")
+	}
+	got, err := LoadTable(data, nfhash.TableHash, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Bits() != tbl.Bits() || got.Chains() != tbl.Chains() || got.ChainLen() != tbl.ChainLen() {
+		t.Fatalf("shape changed across round trip: %d/%d/%d", got.Bits(), got.Chains(), got.ChainLen())
+	}
+	if err := got.SelfCheck(0); err != nil {
+		t.Fatalf("loaded table fails self-check: %v", err)
+	}
+	// The loaded table answers lookups identically.
+	hash := nfhash.Masked(nfhash.TableHash, 12)
+	rng := stats.NewRNG(9)
+	for i := 0; i < 50; i++ {
+		target := hash(space.FromSeed(rng.Uint64()))
+		want := tbl.Invert(target, 3)
+		have := got.Invert(target, 3)
+		if len(want) != len(have) {
+			t.Fatalf("Invert(%#x): %d candidates, want %d", target, len(have), len(want))
+		}
+		for j := range want {
+			if string(want[j]) != string(have[j]) {
+				t.Fatalf("Invert(%#x) candidate %d differs", target, j)
+			}
+		}
+	}
+	// Round-tripping the loaded table reproduces the same bytes.
+	data2, err := got.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Fatal("serialize(load(serialize(t))) != serialize(t)")
+	}
+}
+
+func TestLoadTableRejectsMalformed(t *testing.T) {
+	space := nfhash.RawSpace{Len: 4}
+	cases := map[string]string{
+		"garbage":        `not json`,
+		"zero-bits":      `{"bits":0,"chain_len":8,"seed":1,"nchains":1,"ends":[{"end":1,"starts":[2]}]}`,
+		"wide-bits":      `{"bits":40,"chain_len":8,"seed":1,"nchains":1,"ends":[{"end":1,"starts":[2]}]}`,
+		"zero-chain-len": `{"bits":12,"chain_len":0,"seed":1,"nchains":1,"ends":[{"end":1,"starts":[2]}]}`,
+		"count-mismatch": `{"bits":12,"chain_len":8,"seed":1,"nchains":3,"ends":[{"end":1,"starts":[2]}]}`,
+		"empty-starts":   `{"bits":12,"chain_len":8,"seed":1,"nchains":1,"ends":[{"end":1,"starts":[]}]}`,
+		"duplicate-end":  `{"bits":12,"chain_len":8,"seed":1,"nchains":2,"ends":[{"end":1,"starts":[2]},{"end":1,"starts":[3]}]}`,
+	}
+	for name, data := range cases {
+		if _, err := LoadTable([]byte(data), nfhash.TableHash, space); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestLoadedTamperedTableFailsSelfCheck exercises the trust boundary the
+// store relies on: bytes that decode fine but carry wrong chain data load
+// without error, and only SelfCheck exposes them — which is why callers
+// must self-check every table loaded from disk before using it.
+func TestLoadedTamperedTableFailsSelfCheck(t *testing.T) {
+	space := nfhash.RawSpace{Len: 4}
+	tbl, err := Build(nfhash.TableHash, space, DefaultConfig(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := tbl.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tj tableJSON
+	if err := json.Unmarshal(data, &tj); err != nil {
+		t.Fatal(err)
+	}
+	for i := range tj.Ends {
+		tj.Ends[i].End ^= 0xdeadbeef
+	}
+	tampered, err := json.Marshal(tj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTable(tampered, nfhash.TableHash, space)
+	if err != nil {
+		t.Fatalf("structurally valid tampered table must load: %v", err)
+	}
+	if err := got.SelfCheck(1); err == nil {
+		t.Fatal("self-check passed on tampered table")
 	}
 }
 

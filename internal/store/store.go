@@ -1,0 +1,186 @@
+// Package store is the persistent cross-run artifact store for
+// discovered cache models and rainbow tables (ROADMAP item 1a). The
+// paper's workflow assumes exactly this shape of reuse: the cache model
+// is reverse-engineered once per machine and shipped alongside the tool,
+// and rainbow tables are precomputed; re-deriving either on every
+// analysis run is pure waste.
+//
+// The store is content-addressed: callers derive a key with Key(...)
+// from every input that influenced the artifact (geometry, memory
+// regions, seed, discovery configuration, algorithm revision), so a
+// config change can never alias a stale artifact — it simply misses.
+// Entries are JSON envelopes carrying a schema tag, the kind, the key,
+// and the payload; reads that fail for any reason (missing file,
+// truncated or garbage bytes, schema/kind/key mismatch) are misses,
+// never errors: the caller re-derives and overwrites. Writes go through
+// a temp file and rename, so a crashed writer leaves either the old
+// entry or none — a torn write surfaces as a miss on the next run.
+//
+// Do wraps Get/Put in a keyed single-flight (parallel.Group), so
+// concurrent analyses in one process derive a missing artifact once.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"castan/internal/parallel"
+)
+
+// Schema tags the envelope layout. Bump it to invalidate every existing
+// store entry at once: old envelopes then read as misses.
+const Schema = "castan-store/v1"
+
+// Artifact kinds. The kind is part of both the file name and the
+// envelope, so two artifact types can never alias even under key
+// collision.
+const (
+	KindModel   = "cachemodel"
+	KindRainbow = "rainbow"
+)
+
+// Key derives the canonical content address for an artifact from the
+// parts that produced it. Callers must include every input that can
+// change the artifact's bytes (and an algorithm-revision salt when the
+// derivation itself changes); sha256 keeps the key stable, short, and
+// filename-safe.
+func Key(parts ...string) string {
+	h := sha256.New()
+	for _, p := range parts {
+		// Length-prefix each part so concatenation ambiguity cannot
+		// alias two different part lists.
+		fmt.Fprintf(h, "%d:%s", len(p), p)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:32]
+}
+
+// envelope is the on-disk form of one entry.
+type envelope struct {
+	Schema  string          `json:"schema"`
+	Kind    string          `json:"kind"`
+	Key     string          `json:"key"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Store is one on-disk artifact directory. The zero value is not
+// usable; Open it. A nil *Store is valid and behaves as an always-miss,
+// never-write store, so callers can thread an optional store without
+// guarding every use.
+type Store struct {
+	dir     string
+	flights parallel.Group[string, []byte]
+}
+
+// Open creates (if needed) and opens the store directory.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir reports the store's directory ("" for a nil store).
+func (s *Store) Dir() string {
+	if s == nil {
+		return ""
+	}
+	return s.dir
+}
+
+// path names the entry file for (kind, key).
+func (s *Store) path(kind, key string) string {
+	return filepath.Join(s.dir, kind+"-"+key+".json")
+}
+
+// Get returns the payload stored under (kind, key). Every failure mode
+// — absent file, unreadable bytes, malformed JSON, schema version bump,
+// kind or key mismatch, empty payload — is reported as a plain miss:
+// the artifact is re-derivable by construction, so corruption is never
+// worth an error path, let alone a crash.
+func (s *Store) Get(kind, key string) ([]byte, bool) {
+	if s == nil {
+		return nil, false
+	}
+	raw, err := os.ReadFile(s.path(kind, key))
+	if err != nil {
+		return nil, false
+	}
+	var env envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return nil, false
+	}
+	if env.Schema != Schema || env.Kind != kind || env.Key != key || len(env.Payload) == 0 {
+		return nil, false
+	}
+	return env.Payload, true
+}
+
+// Put stores payload under (kind, key), atomically: the envelope is
+// written to a temp file in the store directory and renamed into place,
+// so concurrent readers (and crashed writers) see either the previous
+// entry or the complete new one.
+func (s *Store) Put(kind, key string, payload []byte) error {
+	if s == nil {
+		return nil
+	}
+	env := envelope{Schema: Schema, Kind: kind, Key: key, Payload: payload}
+	data, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("store: encode %s/%s: %w", kind, key, err)
+	}
+	tmp, err := os.CreateTemp(s.dir, kind+"-*.tmp")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: write %s/%s: %w", kind, key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: write %s/%s: %w", kind, key, err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(kind, key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: commit %s/%s: %w", kind, key, err)
+	}
+	return nil
+}
+
+// Do returns the payload for (kind, key), computing and persisting it on
+// a miss. Concurrent callers for the same entry share one computation
+// (single-flight); hit reports whether THIS caller avoided the compute —
+// a disk hit, or a ride on another caller's in-flight derivation. A
+// compute error is returned as-is and, like every Group outcome, is
+// remembered for the key's lifetime in this process; compute functions
+// that can fail transiently belong outside Do.
+func (s *Store) Do(kind, key string, compute func() ([]byte, error)) (payload []byte, hit bool, err error) {
+	if s == nil {
+		p, err := compute()
+		return p, false, err
+	}
+	computed := false
+	p, err := s.flights.Do(kind+"/"+key, func() ([]byte, error) {
+		if data, ok := s.Get(kind, key); ok {
+			return data, nil
+		}
+		computed = true
+		data, err := compute()
+		if err != nil {
+			return nil, err
+		}
+		if err := s.Put(kind, key, data); err != nil {
+			return nil, err
+		}
+		return data, nil
+	})
+	return p, err == nil && !computed, err
+}

@@ -1,0 +1,228 @@
+package store
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func open(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := open(t)
+	payload := []byte(`{"hello":"world"}`)
+	if err := s.Put(KindModel, "k1", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(KindModel, "k1")
+	if !ok || string(got) != string(payload) {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	if _, ok := s.Get(KindModel, "other"); ok {
+		t.Error("absent key hit")
+	}
+	if _, ok := s.Get(KindRainbow, "k1"); ok {
+		t.Error("same key under different kind hit")
+	}
+	// Overwrite wins.
+	if err := s.Put(KindModel, "k1", []byte(`2`)); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Get(KindModel, "k1"); string(got) != "2" {
+		t.Errorf("overwrite lost: %q", got)
+	}
+	// No temp litter after writes.
+	names, _ := filepath.Glob(filepath.Join(s.Dir(), "*.tmp"))
+	if len(names) != 0 {
+		t.Errorf("temp files left behind: %v", names)
+	}
+}
+
+// TestCorruptEntriesReadAsMisses is the core robustness contract: no
+// on-disk state, however mangled, may surface as anything but a miss.
+func TestCorruptEntriesReadAsMisses(t *testing.T) {
+	payload := []byte(`{"assoc":16}`)
+	corrupt := map[string]func(path string) error{
+		"truncated": func(path string) error {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(path, raw[:len(raw)/2], 0o644)
+		},
+		"garbage": func(path string) error {
+			return os.WriteFile(path, []byte("\x00\xffnot json at all"), 0o644)
+		},
+		"empty": func(path string) error {
+			return os.WriteFile(path, nil, 0o644)
+		},
+		"version-bumped": func(path string) error {
+			var env envelope
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			if err := json.Unmarshal(raw, &env); err != nil {
+				return err
+			}
+			env.Schema = "castan-store/v0"
+			out, err := json.Marshal(env)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(path, out, 0o644)
+		},
+		"key-mismatch": func(path string) error {
+			var env envelope
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			if err := json.Unmarshal(raw, &env); err != nil {
+				return err
+			}
+			env.Key = "someone-else"
+			out, err := json.Marshal(env)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(path, out, 0o644)
+		},
+	}
+	for name, mangle := range corrupt {
+		t.Run(name, func(t *testing.T) {
+			s := open(t)
+			if err := s.Put(KindModel, "k", payload); err != nil {
+				t.Fatal(err)
+			}
+			if err := mangle(s.path(KindModel, "k")); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := s.Get(KindModel, "k"); ok {
+				t.Fatalf("corrupt entry read as hit: %q", got)
+			}
+			// And the slot is recoverable: a fresh Put heals it.
+			if err := s.Put(KindModel, "k", payload); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := s.Get(KindModel, "k"); !ok {
+				t.Error("slot not recoverable after re-Put")
+			}
+		})
+	}
+}
+
+func TestDoSingleFlight(t *testing.T) {
+	s := open(t)
+	var computes atomic.Int64
+	compute := func() ([]byte, error) {
+		computes.Add(1)
+		return []byte(`42`), nil
+	}
+	p, hit, err := s.Do(KindModel, "k", compute)
+	if err != nil || hit || string(p) != "42" {
+		t.Fatalf("first Do: %q hit=%v err=%v", p, hit, err)
+	}
+	// Second caller in-process rides the memoized flight.
+	p, hit, err = s.Do(KindModel, "k", compute)
+	if err != nil || !hit || string(p) != "42" {
+		t.Fatalf("second Do: %q hit=%v err=%v", p, hit, err)
+	}
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("computed %d times", n)
+	}
+	// A fresh Store over the same dir hits the disk entry.
+	s2, err := Open(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, hit, err = s2.Do(KindModel, "k", compute)
+	if err != nil || !hit || string(p) != "42" {
+		t.Fatalf("fresh-store Do: %q hit=%v err=%v", p, hit, err)
+	}
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("disk hit recomputed: %d computes", n)
+	}
+}
+
+func TestDoConcurrentCallersComputeOnce(t *testing.T) {
+	s := open(t)
+	var computes atomic.Int64
+	var hits atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, hit, err := s.Do(KindRainbow, "shared", func() ([]byte, error) {
+				computes.Add(1)
+				return []byte(`"t"`), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			if hit {
+				hits.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Errorf("computed %d times", n)
+	}
+	if n := hits.Load(); n != 15 {
+		t.Errorf("%d callers reported hits, want 15 (all but the computer)", n)
+	}
+}
+
+func TestNilStoreIsAlwaysMiss(t *testing.T) {
+	var s *Store
+	if _, ok := s.Get(KindModel, "k"); ok {
+		t.Error("nil store hit")
+	}
+	if err := s.Put(KindModel, "k", []byte(`x`)); err != nil {
+		t.Error(err)
+	}
+	ran := 0
+	p, hit, err := s.Do(KindModel, "k", func() ([]byte, error) { ran++; return []byte(`y`), nil })
+	if err != nil || hit || string(p) != "y" || ran != 1 {
+		t.Errorf("nil-store Do: %q hit=%v err=%v ran=%d", p, hit, err, ran)
+	}
+	if s.Dir() != "" {
+		t.Error("nil store has a dir")
+	}
+}
+
+func TestKeyCanonical(t *testing.T) {
+	if Key("a", "bc") == Key("ab", "c") {
+		t.Error("concatenation ambiguity")
+	}
+	if Key("x") != Key("x") {
+		t.Error("unstable key")
+	}
+	k := Key("geometry", "region", "seed")
+	if len(k) != 32 || strings.ToLower(k) != k {
+		t.Errorf("key %q not filename-friendly", k)
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Error("empty dir accepted")
+	}
+	nested := filepath.Join(t.TempDir(), "a", "b")
+	if _, err := Open(nested); err != nil {
+		t.Errorf("nested create: %v", err)
+	}
+}
