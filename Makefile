@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-metrics bench-gate store-smoke trace-smoke fault-smoke fmt fmt-fix vet lint lint-strict irlint print-staticcheck-version check
+.PHONY: all build test race bench bench-smoke bench-metrics bench-gate store-smoke trace-smoke fault-smoke fuzz-smoke lint-catalog fmt fmt-fix vet lint lint-strict irlint print-staticcheck-version check
 
 # Pinned staticcheck release; CI installs exactly this version.
 STATICCHECK_VERSION = 2025.1.1
@@ -136,6 +136,31 @@ lint-strict:
 # The IR static-analysis gate: every built-in NF module must lint clean.
 irlint:
 	$(GO) run ./cmd/irlint
+
+# Fuzz smoke (what CI runs): replay the seed corpus, then a short live
+# fuzzing session of the module validator. Arbitrary decoded modules must
+# never panic Validate, and modules it accepts must survive the
+# Disassemble round-trip.
+FUZZ_TIME ?= 30s
+fuzz-smoke:
+	$(GO) test ./internal/ir/ -run FuzzModuleValidate -count=1
+	$(GO) test ./internal/ir/ -fuzz FuzzModuleValidate -fuzztime $(FUZZ_TIME)
+
+# Lint-catalog gate (what CI runs): regenerate the full irlint -json
+# document (findings with source coordinates, cache-cost stats, taint
+# controllability) for the whole NF catalog and fail on any drift from
+# the checked-in golden. Update with `go test ./cmd/irlint/ -update`.
+LINT_CATALOG_DIR ?= /tmp/castan-lint-catalog
+lint-catalog:
+	mkdir -p $(LINT_CATALOG_DIR)
+	$(GO) run ./cmd/irlint -json > $(LINT_CATALOG_DIR)/catalog.json
+	diff -u cmd/irlint/testdata/catalog.json.golden $(LINT_CATALOG_DIR)/catalog.json \
+		> $(LINT_CATALOG_DIR)/catalog.diff || { \
+			echo "irlint catalog drifted from cmd/irlint/testdata/catalog.json.golden:"; \
+			cat $(LINT_CATALOG_DIR)/catalog.diff; \
+			echo "regenerate with: go test ./cmd/irlint/ -update"; \
+			exit 1; \
+		}
 
 # Used by CI to install the exact pinned staticcheck.
 print-staticcheck-version:

@@ -51,6 +51,8 @@ var coreCounters = []string{
 	"rainbow.chains",
 	"castan.havocs_reconciled",
 	"castan.store.hits",
+	"symbex.folded_instructions",
+	"solver.queries_avoided",
 }
 
 type row struct {

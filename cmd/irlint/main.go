@@ -11,9 +11,16 @@
 //	irlint -json       # machine-readable output (includes cachecost stats)
 //
 // With -json the output is a single castan-irlint/v1 document: per module,
-// the findings plus the abstract cache analysis's classification summary
-// (always-hit / always-miss / unclassified counts and the unclassified
-// ratio per function).
+// the findings (each carrying source coordinates: function, block index,
+// instruction index) plus the abstract cache analysis's classification
+// summary (always-hit / always-miss / unclassified counts and the
+// unclassified ratio per function).
+//
+// Structurally clean modules additionally get the input-taint dataflow
+// pass: adversary-controllability findings flag every load/store whose
+// address the input controls — ranked by whether the access stays
+// cache-resident or reaches a DRAM-cost region — and classify each hash
+// site's key as input-independent or adversary-controlled.
 //
 // Exit status is non-zero iff any module produced an error-level finding
 // (or, with -werror, a warning).
@@ -29,6 +36,7 @@ import (
 
 	"castan/internal/analysis"
 	"castan/internal/analysis/cachecost"
+	"castan/internal/analysis/taint"
 	"castan/internal/ir"
 	"castan/internal/nf"
 )
@@ -73,7 +81,14 @@ type jsonFinding struct {
 	Sev  string `json:"sev"`
 	Pass string `json:"pass"`
 	Ref  string `json:"ref"`
-	Msg  string `json:"msg"`
+	// Source coordinates of the program point Ref renders: the function
+	// name ("" for module-level findings), the block index within the
+	// function, and the instruction index within the block (-1 when the
+	// finding anchors to a whole function or block).
+	Fn    string `json:"fn"`
+	Block int    `json:"block"`
+	Instr int    `json:"instr"`
+	Msg   string `json:"msg"`
 }
 
 type jsonCacheCost struct {
@@ -114,8 +129,22 @@ func run(mods []*ir.Module, verbose, werror, jsonOut bool, w io.Writer) int {
 			EntryHints: analysis.NFEntryHints(),
 			NoDeadDefs: !verbose,
 		})
+		// Structurally clean modules get the cache-cost summary and the
+		// taint controllability pass; their findings merge into the lint
+		// report (deduplicated — taint flags accesses the extent checks
+		// may already have mentioned) before counting and rendering.
+		var cc *cachecost.Analysis
+		if !rep.HasErrors() {
+			mf := analysis.ForModule(mod)
+			mr := analysis.RunMemRegions(mf, analysis.NFEntryHints())
+			cc = cachecost.Run(mf, mr, cachecost.Config{Geometry: cachecost.DefaultGeometry()})
+			ta := taint.Run(mf, mr, taint.Config{EntryHints: taint.NFEntryTaints()})
+			rep.Findings = append(rep.Findings, ta.Controllability(cc)...)
+			rep.Dedup()
+			rep.Sort()
+		}
 		if jsonOut {
-			doc.Modules = append(doc.Modules, jsonify(mod, rep, minSev))
+			doc.Modules = append(doc.Modules, jsonify(mod, rep, minSev, cc))
 		} else if err := rep.Write(w, minSev); err != nil {
 			fmt.Fprintf(os.Stderr, "irlint: %v\n", err)
 			return 2
@@ -139,11 +168,11 @@ func run(mods []*ir.Module, verbose, werror, jsonOut bool, w io.Writer) int {
 }
 
 // jsonify packages one module's report plus its cache-classification
-// summary. The cache analysis runs at the default geometry (the simulated
-// L3's associativity and line size) with no contention-set model — the
-// most conservative classification, which is the right baseline for a
-// lint gate.
-func jsonify(mod *ir.Module, rep *analysis.Report, minSev analysis.Severity) jsonModule {
+// summary. cc is the caller's cache analysis at the default geometry (the
+// simulated L3's associativity and line size) with no contention-set
+// model — the most conservative classification, which is the right
+// baseline for a lint gate; nil when the module had errors.
+func jsonify(mod *ir.Module, rep *analysis.Report, minSev analysis.Severity, cc *cachecost.Analysis) jsonModule {
 	jm := jsonModule{
 		Module:   rep.Module,
 		Errors:   rep.Count(analysis.SevError),
@@ -154,24 +183,31 @@ func jsonify(mod *ir.Module, rep *analysis.Report, minSev analysis.Severity) jso
 		if f.Sev > minSev {
 			continue
 		}
-		jm.Findings = append(jm.Findings, jsonFinding{
-			Sev:  f.Sev.String(),
-			Pass: f.Pass,
-			Ref:  f.Ref(),
-			Msg:  f.Msg,
-		})
+		jf := jsonFinding{
+			Sev:   f.Sev.String(),
+			Pass:  f.Pass,
+			Ref:   f.Ref(),
+			Block: -1,
+			Instr: -1,
+			Msg:   f.Msg,
+		}
+		if f.Fn != nil {
+			jf.Fn = f.Fn.Name
+		}
+		if f.Block != nil {
+			jf.Block = f.Block.Index
+			jf.Instr = f.InstrIdx
+		}
+		jm.Findings = append(jm.Findings, jf)
 	}
 	geo := cachecost.DefaultGeometry()
 	jm.CacheCost.Geometry = jsonGeometry{Ways: geo.Ways, LineBytes: geo.LineBytes}
 	jm.CacheCost.Functions = []jsonFuncCost{}
-	if jm.Errors > 0 {
+	if cc == nil {
 		// A structurally broken module would feed garbage to the abstract
 		// interpreter; findings alone are the story here.
 		return jm
 	}
-	mf := analysis.ForModule(mod)
-	mr := analysis.RunMemRegions(mf, analysis.NFEntryHints())
-	cc := cachecost.Run(mf, mr, cachecost.Config{Geometry: geo})
 	for _, name := range cc.FuncNames() {
 		f := mod.Funcs[name]
 		st := cc.FuncStats(f)

@@ -272,6 +272,12 @@ type MemRegions struct {
 	// Accesses lists every load/store in deterministic order (function
 	// name, block index, instruction index).
 	Accesses []Access
+	// KeyReads lists every OpHavoc key-buffer read, classified like a
+	// load of the whole key. Kept separate from Accesses so footprint and
+	// cache-cost consumers (which model havoc as a pure register effect)
+	// are unaffected; the taint pass uses these to decide whether a hash
+	// key is adversary-controlled.
+	KeyReads []Access
 	// Params records the joined abstract parameter values each function
 	// was analyzed under.
 	Params map[*ir.Func][]Value
@@ -305,6 +311,11 @@ func RunMemRegions(mf *ModuleFacts, entryHints map[string][]Value) *MemRegions {
 	}
 	return mr
 }
+
+// CallerFirstOrder exposes the caller-first topological function order to
+// sibling analysis packages (cachecost, taint) that run interprocedural
+// fixpoints in the same direction.
+func CallerFirstOrder(mf *ModuleFacts) []*ir.Func { return callerFirstOrder(mf) }
 
 // callerFirstOrder topologically sorts functions so every caller precedes
 // its callees (roots first). The call graph is acyclic by validation.
@@ -481,6 +492,9 @@ func (mr *MemRegions) execBlock(f *ir.Func, b *ir.Block, state []Value, allocReg
 			}
 			set(instr.Dst, Value{kind: kPtr, region: reg})
 		case ir.OpHavoc:
+			if record != nil {
+				mr.recordKeyRead(f, b, idx, get(instr.A), instr.Imm)
+			}
 			bits := 64
 			if instr.HashID >= 0 && instr.HashID < len(mr.mf.Mod.Hashes) {
 				bits = mr.mf.Mod.Hashes[instr.HashID].Bits
@@ -651,6 +665,34 @@ func (mr *MemRegions) recordAccess(f *ir.Func, b *ir.Block, idx int, isStore boo
 		acc.Class = AccessUnclassified
 	}
 	mr.Accesses = append(mr.Accesses, acc)
+}
+
+// recordKeyRead classifies the keyLen-byte read an OpHavoc performs at
+// its key pointer, appending to KeyReads. Size saturates at 255 bytes
+// (Access.Size is a byte); real flow keys are far smaller.
+func (mr *MemRegions) recordKeyRead(f *ir.Func, b *ir.Block, idx int, addr Value, keyLen uint64) {
+	size := uint8(255)
+	if keyLen < 255 {
+		size = uint8(keyLen)
+	}
+	acc := Access{Fn: f, Block: b, InstrIdx: idx, Size: size}
+	if reg, lo, hi, ok := addr.IsPtr(); ok {
+		acc.Region = reg
+		acc.Lo, acc.Hi = lo, hi
+		switch {
+		case reg.Extent == 0:
+			acc.Class = AccessInExtent
+		case satAdd(acc.Lo, keyLen) > reg.Extent:
+			acc.Class = AccessOutOfExtent
+		case satAdd(acc.Hi, keyLen) > reg.Extent:
+			acc.Class = AccessMayEscape
+		default:
+			acc.Class = AccessInExtent
+		}
+	} else {
+		acc.Class = AccessUnclassified
+	}
+	mr.KeyReads = append(mr.KeyReads, acc)
 }
 
 // report converts extent violations into findings.

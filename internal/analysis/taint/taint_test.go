@@ -1,0 +1,334 @@
+package taint
+
+import (
+	"testing"
+
+	"castan/internal/analysis"
+	"castan/internal/ir"
+)
+
+// runOn builds facts + memregions with the NF entry convention and runs
+// the taint analysis.
+func runOn(t *testing.T, mod *ir.Module) *Analysis {
+	t.Helper()
+	if err := mod.Validate(); err != nil {
+		t.Fatalf("module invalid: %v", err)
+	}
+	mf := analysis.ForModule(mod)
+	mr := analysis.RunMemRegions(mf, analysis.NFEntryHints())
+	a := Run(mf, mr, Config{EntryHints: NFEntryTaints()})
+	if a.Capped {
+		t.Fatalf("fixpoint capped on a trivial module")
+	}
+	return a
+}
+
+// nth returns the n-th instruction with the given opcode in the
+// function, fatal if absent.
+func nth(t *testing.T, f *ir.Func, op ir.Opcode, n int) *ir.Instr {
+	t.Helper()
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == op {
+				if n == 0 {
+					return in
+				}
+				n--
+			}
+		}
+	}
+	t.Fatalf("opcode %d instance not found", op)
+	return nil
+}
+
+func TestPacketLoadIsLinear(t *testing.T) {
+	mod := ir.NewModule("t")
+	mod.Layout()
+	fb := mod.NewFunc("nf_process", 2)
+	pkt := fb.Const(ir.PacketBase)
+	v := fb.Load(pkt, 26, 4) // packet bytes 26..29
+	fb.Ret(v)
+	fb.Seal()
+
+	a := runOn(t, mod)
+	ld := nth(t, mod.Funcs["nf_process"], ir.OpLoad, 0)
+	it, ok := a.Of(ld)
+	if !ok {
+		t.Fatal("load unreached")
+	}
+	if it.Val.Class != TaintedLinear {
+		t.Fatalf("packet load class = %v, want linear", it.Val)
+	}
+	want := PacketBytes(26, 29)
+	if it.Val != want {
+		t.Fatalf("packet load taint = %v, want %v", it.Val, want)
+	}
+	if it.Addr.Tainted() {
+		t.Fatalf("constant address classified tainted: %v", it.Addr)
+	}
+	// The untainted constant feeding the address stays untainted.
+	if got := a.ClassOf(nth(t, mod.Funcs["nf_process"], ir.OpConst, 0)); got != Untainted {
+		t.Fatalf("const class = %v", got)
+	}
+}
+
+func TestTaintFlowsThroughArithmeticAndAddress(t *testing.T) {
+	mod := ir.NewModule("t")
+	g := mod.AddGlobal("tbl", 1<<16, 64)
+	mod.Layout()
+	fb := mod.NewFunc("nf_process", 2)
+	pkt := fb.Const(ir.PacketBase)
+	idx := fb.Load(pkt, 30, 2)            // bytes 30..31
+	idx = fb.AndImm(idx, 0xfff)           // still linear, same bytes
+	addr := fb.Add(fb.GlobalAddr(g), idx) // tainted pointer offset
+	v := fb.Load(addr, 0, 1)              // tainted address load
+	fb.Ret(v)
+	fb.Seal()
+
+	a := runOn(t, mod)
+	ld := nth(t, mod.Funcs["nf_process"], ir.OpLoad, 1)
+	it, _ := a.Of(ld)
+	if it.Addr != PacketBytes(30, 31) {
+		t.Fatalf("table load address taint = %v, want bytes 30-31", it.Addr)
+	}
+	// Content of an untouched global is untainted, but the tainted
+	// index selects it: the result is tainted.
+	if !it.Val.Tainted() {
+		t.Fatalf("tainted-address load result untainted")
+	}
+}
+
+func TestHashKeyFoldableVsControlled(t *testing.T) {
+	mod := ir.NewModule("t")
+	keyA := mod.AddGlobal("key_fixed", 16, 8)
+	keyB := mod.AddGlobal("key_pkt", 16, 8)
+	hid := mod.AddHash("h", 16, func(b []byte) uint64 { return uint64(len(b)) })
+	mod.Layout()
+	fb := mod.NewFunc("nf_process", 2)
+	pkt := fb.Const(ir.PacketBase)
+	// Fixed key: only constants ever stored.
+	fb.Store(fb.GlobalAddr(keyA), 0, fb.Const(0xabcd), 8)
+	hFixed := fb.Havoc(hid, fb.GlobalAddr(keyA), 8)
+	// Controlled key: packet-derived word stored first.
+	w := fb.Load(pkt, 26, 8)
+	fb.Store(fb.GlobalAddr(keyB), 0, w, 8)
+	hCtl := fb.Havoc(hid, fb.GlobalAddr(keyB), 8)
+	fb.Ret(fb.Xor(hFixed, hCtl))
+	fb.Seal()
+
+	a := runOn(t, mod)
+	sites := a.HashSites()
+	if len(sites) != 2 {
+		t.Fatalf("got %d hash sites", len(sites))
+	}
+	// Deterministic order: block/instr order within nf_process.
+	if !sites[0].Foldable {
+		t.Errorf("fixed-key site not foldable: key %v", sites[0].Key)
+	}
+	if sites[1].Foldable {
+		t.Errorf("packet-key site foldable")
+	}
+	if sites[1].Key.Class != TaintedLinear || !sites[1].Key.Bytes.Has(26) {
+		t.Errorf("packet-key taint = %v, want linear including byte 26", sites[1].Key)
+	}
+	hv := nth(t, mod.Funcs["nf_process"], ir.OpHavoc, 0)
+	if a.ClassOf(hv) != Untainted {
+		t.Errorf("fixed-key havoc output = %v, want untainted", a.ClassOf(hv))
+	}
+	hv2 := nth(t, mod.Funcs["nf_process"], ir.OpHavoc, 1)
+	if a.ClassOf(hv2) != TaintedOpaque {
+		t.Errorf("controlled-key havoc output = %v, want opaque (never linear)", a.ClassOf(hv2))
+	}
+}
+
+// TestImplicitFlowBranch: constants assigned under a tainted branch are
+// input-dependent — the classic implicit-flow case the control-taint
+// pass must catch.
+func TestImplicitFlowBranch(t *testing.T) {
+	mod := ir.NewModule("t")
+	mod.Layout()
+	fb := mod.NewFunc("nf_process", 2)
+	pkt := fb.Const(ir.PacketBase)
+	b0 := fb.Load(pkt, 0, 1)
+	x := fb.VarImm(0)
+	cond := fb.CmpUlt(b0, fb.Const(10))
+	fb.If(cond, func() {
+		x.Set(fb.Const(1))
+	}, func() {
+		x.Set(fb.Const(2))
+	})
+	// After the join, y depends on the branch even though both arms
+	// assigned constants.
+	y := fb.AddImm(x.R(), 5)
+	// But a fresh constant after the postdominator is untainted again.
+	z := fb.Const(7)
+	fb.Ret(fb.Xor(y, z))
+	fb.Seal()
+
+	a := runOn(t, mod)
+	f := mod.Funcs["nf_process"]
+	var adds []*ir.Instr
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpBin && in.Bin == ir.Add {
+				adds = append(adds, in)
+			}
+		}
+	}
+	if len(adds) != 1 {
+		t.Fatalf("got %d adds", len(adds))
+	}
+	if !a.instr[adds[0]].Val.Tainted() {
+		t.Fatalf("implicit flow missed: x+5 classified untainted")
+	}
+	// The const 7 sits after the branch's postdominator: untainted.
+	var c7 *ir.Instr
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpConst && in.Imm == 7 {
+				c7 = in
+			}
+		}
+	}
+	if c7 == nil {
+		t.Fatal("const 7 not found")
+	}
+	if got := a.ClassOf(c7); got != Untainted {
+		t.Fatalf("const after reconvergence = %v, want untainted (postdominator precision)", got)
+	}
+}
+
+// TestImplicitFlowMemory: a store executed only under a tainted branch
+// taints the region even when the stored value is constant.
+func TestImplicitFlowMemory(t *testing.T) {
+	mod := ir.NewModule("t")
+	g := mod.AddGlobal("flag", 8, 8)
+	mod.Layout()
+	fb := mod.NewFunc("nf_process", 2)
+	pkt := fb.Const(ir.PacketBase)
+	b0 := fb.Load(pkt, 1, 1)
+	fb.If(fb.CmpEqImm(b0, 0x42), func() {
+		fb.Store(fb.GlobalAddr(g), 0, fb.Const(1), 8)
+	}, nil)
+	v := fb.Load(fb.GlobalAddr(g), 0, 8)
+	fb.Ret(v)
+	fb.Seal()
+
+	a := runOn(t, mod)
+	ld := nth(t, mod.Funcs["nf_process"], ir.OpLoad, 1)
+	if !a.instr[ld].Val.Tainted() {
+		t.Fatal("conditionally-stored global load classified untainted")
+	}
+}
+
+// TestInterprocedural: taint crosses call boundaries in both directions
+// (args down, returns up), and a callee invoked under tainted control
+// taints its definitions via the inherited entry control.
+func TestInterprocedural(t *testing.T) {
+	mod := ir.NewModule("t")
+	mod.Layout()
+	hb := mod.NewFunc("helper", 1)
+	doubled := hb.Add(hb.Param(0), hb.Param(0))
+	hb.Ret(doubled)
+	helper := hb.Seal()
+
+	cb := mod.NewFunc("cheer", 0)
+	cb.RetImm(3)
+	cheer := cb.Seal()
+
+	fb := mod.NewFunc("nf_process", 2)
+	pkt := fb.Const(ir.PacketBase)
+	b0 := fb.Load(pkt, 2, 1)
+	tainted := fb.Call(helper, b0)
+	clean := fb.Call(helper, fb.Const(9))
+	gated := fb.VarImm(0)
+	fb.If(fb.CmpUlt(b0, fb.Const(5)), func() {
+		gated.Set(fb.Call(cheer))
+	}, nil)
+	fb.Ret(fb.Xor(fb.Xor(tainted, clean), gated.R()))
+	fb.Seal()
+
+	a := runOn(t, mod)
+	f := mod.Funcs["nf_process"]
+	call0 := nth(t, f, ir.OpCall, 0)
+	if !a.instr[call0].Val.Tainted() {
+		t.Error("helper(packet byte) return untainted")
+	}
+	// helper's params joined tainted and untainted args: the summary is
+	// tainted, so even the constant call's result is conservatively
+	// tainted (summaries are per-callee, not per-site).
+	add := nth(t, mod.Funcs["helper"], ir.OpBin, 0)
+	if !a.instr[add].Val.Tainted() {
+		t.Error("helper body untainted despite tainted call site")
+	}
+	// cheer runs only under a tainted branch: its constant return must
+	// carry the inherited control taint.
+	retc := nth(t, mod.Funcs["cheer"], ir.OpConst, 0)
+	if !a.instr[retc].Val.Tainted() {
+		t.Error("callee under tainted control classified untainted")
+	}
+}
+
+// TestUnreachedFunctionIsOpaque: functions not reachable from a hinted
+// entry get no facts and degrade to TaintedOpaque.
+func TestUnreachedFunctionIsOpaque(t *testing.T) {
+	mod := ir.NewModule("t")
+	mod.Layout()
+	ob := mod.NewFunc("orphan", 0)
+	ob.RetImm(1)
+	ob.Seal()
+	fb := mod.NewFunc("nf_process", 2)
+	fb.RetImm(0)
+	fb.Seal()
+
+	a := runOn(t, mod)
+	in := nth(t, mod.Funcs["orphan"], ir.OpConst, 0)
+	if _, ok := a.Of(in); ok {
+		t.Fatal("orphan instruction has facts")
+	}
+	if got := a.ClassOf(in); got != TaintedOpaque {
+		t.Fatalf("orphan class = %v, want opaque", got)
+	}
+}
+
+// TestAllocUnderTaintedControl: the bump allocator makes later
+// allocation addresses input-dependent when an earlier alloc executes
+// conditionally.
+func TestAllocUnderTaintedControl(t *testing.T) {
+	mod := ir.NewModule("t")
+	mod.Layout()
+	fb := mod.NewFunc("nf_process", 2)
+	pkt := fb.Const(ir.PacketBase)
+	b0 := fb.Load(pkt, 3, 1)
+	fb.If(fb.CmpEqImm(b0, 1), func() {
+		fb.AllocImm(64)
+	}, nil)
+	later := fb.AllocImm(32) // address depends on whether the first ran
+	fb.Ret(later)
+	fb.Seal()
+
+	a := runOn(t, mod)
+	second := nth(t, mod.Funcs["nf_process"], ir.OpAlloc, 1)
+	if !a.instr[second].Val.Tainted() {
+		t.Fatal("post-conditional alloc address classified untainted")
+	}
+}
+
+func TestByteSetString(t *testing.T) {
+	var s ByteSet
+	for _, i := range []uint64{26, 27, 28, 29, 34} {
+		s.add(i)
+	}
+	if got := s.String(); got != "26-29,34" {
+		t.Fatalf("ByteSet.String() = %q", got)
+	}
+	if s.Count() != 5 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	if join(PacketBytes(0, 1), Opaque()).Class != TaintedOpaque {
+		t.Fatal("join with opaque not opaque")
+	}
+	if widen(PacketBytes(0, 1), PacketBytes(0, 2)) != Opaque() {
+		t.Fatal("growing linear set must widen to opaque")
+	}
+}

@@ -22,6 +22,7 @@ import (
 
 	"castan/internal/analysis"
 	"castan/internal/analysis/cachecost"
+	"castan/internal/analysis/taint"
 	"castan/internal/budget"
 	"castan/internal/cachemodel"
 	"castan/internal/expr"
@@ -172,6 +173,20 @@ type StageDegradation struct {
 	Fallback string `json:"fallback"`
 }
 
+// TaintSummary is the input-taint dataflow analysis's classification of
+// the NF module: how many reached instructions are provably
+// input-independent, affine in input bytes, or opaque (through a hash or
+// other scrambling), and how many hash sites have a provably fixed key
+// (those fold to constants in the engine and need no rainbow table).
+type TaintSummary struct {
+	Instructions      int `json:"instructions"`
+	Untainted         int `json:"untainted"`
+	TaintedLinear     int `json:"tainted_linear"`
+	TaintedOpaque     int `json:"tainted_opaque"`
+	HashSites         int `json:"hash_sites"`
+	FoldableHashSites int `json:"foldable_hash_sites"`
+}
+
 // Output is a completed analysis.
 type Output struct {
 	NF     string
@@ -188,8 +203,11 @@ type Output struct {
 	// gate rejects modules with errors before exploration starts).
 	LintWarnings int
 	// StaticHavocSites counts the OpHavoc sites found statically; the
-	// rainbow builder only spends effort on hash IDs that appear here.
+	// rainbow builder only spends effort on hash IDs the taint analysis
+	// could not prove input-independent.
 	StaticHavocSites int
+	// Taint summarizes the input-taint dataflow analysis of the module.
+	Taint TaintSummary
 	// ContentionSetsFound is the discovery result size (0 = no model).
 	ContentionSetsFound int
 	// StaticCostBound is the abstract cache analysis's worst-case cycle
@@ -266,9 +284,18 @@ func Analyze(inst *nf.Instance, hier *memsim.Hierarchy, cfg Config) (*Output, er
 	mf := analysis.ForModule(inst.Mod)
 	mr := analysis.RunMemRegions(mf, analysis.NFEntryHints())
 	staticSites := mf.HavocSites()
+	// Input-taint dataflow over the same facts: classifies every value as
+	// input-independent, affine in input bytes, or opaque. It powers the
+	// engine's concrete folding, and replaces the footprint-based havoc
+	// filter — rainbow tables are only built for hash sites whose key the
+	// adversary can actually influence (unreached sites conservatively
+	// count as influenced).
+	ta := taint.Run(mf, mr, taint.Config{EntryHints: taint.NFEntryTaints()})
 	staticHashIDs := map[int]bool{}
-	for _, s := range staticSites {
-		staticHashIDs[s.HashID] = true
+	for _, s := range ta.HashSites() {
+		if !s.Foldable {
+			staticHashIDs[s.HashID] = true
+		}
 	}
 	spStatic.End()
 
@@ -369,6 +396,7 @@ func Analyze(inst *nf.Instance, hier *memsim.Hierarchy, cfg Config) (*Output, er
 		Obs:         rec,
 		Budget:      cfg.Budget,
 		SolverFault: solverFault,
+		Taint:       ta,
 	}
 	spSymbex := root.Child("castan.symbex")
 	res, err := eng.Run()
@@ -388,6 +416,15 @@ func Analyze(inst *nf.Instance, hier *memsim.Hierarchy, cfg Config) (*Output, er
 		out.StepsToWorstPath = res.PopsToBest
 		out.LintWarnings = rep.Count(analysis.SevWarn)
 		out.StaticHavocSites = len(staticSites)
+		st := ta.Stats()
+		out.Taint = TaintSummary{
+			Instructions:      st.Instructions,
+			Untainted:         st.Untainted,
+			TaintedLinear:     st.Linear,
+			TaintedOpaque:     st.Opaque,
+			HashSites:         st.HashSites,
+			FoldableHashSites: st.FoldableHashSites,
+		}
 		if cc != nil {
 			if b, ok := cc.WorkloadBound("nf_process", cfg.NPackets); ok {
 				out.StaticCostBound = b

@@ -27,6 +27,9 @@ type Report struct {
 	HavocsTotal         int            `json:"havocs_total"`
 	HavocsReconciled    int            `json:"havocs_reconciled"`
 	ContentionSetsFound int            `json:"contention_sets_found"`
+	// Taint summarizes the input-taint dataflow analysis (instruction
+	// classification and hash-site key controllability).
+	Taint TaintSummary `json:"taint"`
 	// StaticCostBound is the abstract cache analysis's worst-case cycle
 	// bound for the whole workload, printed next to measured cycles
 	// (0 = analysis disabled or no static bound).
@@ -69,6 +72,7 @@ func (o *Output) Report() *Report {
 		HavocsTotal:         o.HavocsTotal,
 		HavocsReconciled:    o.HavocsReconciled,
 		ContentionSetsFound: o.ContentionSetsFound,
+		Taint:               o.Taint,
 		StaticCostBound:     o.StaticCostBound,
 		StepsToWorstPath:    o.StepsToWorstPath,
 		StatesExplored:      o.StatesExplored,

@@ -19,6 +19,11 @@ type MemAccess struct {
 type Hooks struct {
 	OnInstr func(fn *ir.Func, in *ir.Instr)
 	OnMem   func(a MemAccess)
+	// OnDef fires after a value-defining instruction executes, with the
+	// value just written to its destination register. The taint
+	// soundness property test uses this to compare per-instruction
+	// value streams across runs.
+	OnDef func(fn *ir.Func, in *ir.Instr, val uint64)
 }
 
 // ErrStepBudget is returned when execution exceeds the configured budget,
@@ -175,6 +180,11 @@ func (m *Machine) run(fn *ir.Func, args []uint64) (uint64, error) {
 			regs[in.Dst] = h.Fn(key) & mask
 		default:
 			return 0, fmt.Errorf("interp: bad opcode %d in %s", in.Op, fn.Name)
+		}
+		if m.Hooks.OnDef != nil {
+			if d := in.Def(); d != ir.NoReg {
+				m.Hooks.OnDef(fn, in, regs[d])
+			}
 		}
 		pc++
 	}

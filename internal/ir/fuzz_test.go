@@ -1,0 +1,204 @@
+package ir
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// fuzzReader drains the fuzz input as a stream of structured draws,
+// yielding zeros once exhausted so every prefix decodes to something.
+type fuzzReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *fuzzReader) byte() byte {
+	if r.pos >= len(r.data) {
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+func (r *fuzzReader) u64() uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | uint64(r.byte())
+	}
+	return v
+}
+
+// decodeModule assembles a module directly from fuzz bytes, bypassing the
+// builder so Validate sees raw structures. The decoder biases toward
+// well-formed output (in-range registers, terminated blocks, calls only
+// "downward" so the graph stays acyclic) but low bits of the stream can
+// corrupt any of those choices — the interesting inputs straddle the
+// valid/invalid boundary.
+func decodeModule(data []byte) *Module {
+	r := &fuzzReader{data: data}
+	m := NewModule("fuzz")
+
+	for i := 0; i < int(r.byte()%3); i++ {
+		// Bounded sizes keep Layout far from the globals/heap boundary,
+		// which is a documented panic, not a Validate concern.
+		m.AddGlobal(fmt.Sprintf("g%d", i), uint64(r.byte())%1024+1, 1<<(r.byte()%7))
+	}
+	if r.byte()%2 == 1 {
+		m.AddHash("h", int(r.byte()%64)+1, func(key []byte) uint64 {
+			var h uint64 = 14695981039346656037
+			for _, b := range key {
+				h = (h ^ uint64(b)) * 1099511628211
+			}
+			return h
+		})
+	}
+
+	nFuncs := int(r.byte()%3) + 1
+	funcs := make([]*Func, nFuncs)
+	for i := range funcs {
+		numRegs := int(r.byte()%8) + 1
+		f := &Func{
+			Name:      fmt.Sprintf("f%d", i),
+			NumRegs:   numRegs,
+			NumParams: int(r.byte()) % (numRegs + 1),
+			Mod:       m,
+		}
+		m.Funcs[f.Name] = f
+		funcs[i] = f
+	}
+
+	for fi, f := range funcs {
+		nBlocks := int(r.byte()%4) + 1
+		for bi := 0; bi < nBlocks; bi++ {
+			f.Blocks = append(f.Blocks, &Block{
+				Name:  fmt.Sprintf("b%d", bi),
+				Index: bi,
+				Fn:    f,
+			})
+		}
+		reg := func() Reg {
+			b := r.byte()
+			if b == 0xff {
+				return NoReg
+			}
+			if b >= 0xf0 {
+				return Reg(int32(b)) // deliberately out of range
+			}
+			return Reg(int(b) % f.NumRegs)
+		}
+		target := func() *Block {
+			b := r.byte()
+			if b >= 0xf8 {
+				return nil // deliberately missing
+			}
+			return f.Blocks[int(b)%len(f.Blocks)]
+		}
+		for _, blk := range f.Blocks {
+			for n := int(r.byte() % 5); n > 0; n-- {
+				in := &Instr{Op: Opcode(r.byte() % 16)} // a few values past OpHavoc
+				switch in.Op {
+				case OpConst:
+					in.Dst, in.Imm = reg(), r.u64()
+				case OpMov:
+					in.Dst, in.A = reg(), reg()
+				case OpBin:
+					in.Dst, in.A, in.B, in.Bin = reg(), reg(), reg(), BinOp(r.byte()%12)
+				case OpCmp:
+					in.Dst, in.A, in.B, in.Pred = reg(), reg(), reg(), Pred(r.byte()%8)
+				case OpSelect:
+					in.Dst, in.A, in.B, in.C = reg(), reg(), reg(), reg()
+				case OpLoad:
+					in.Dst, in.A, in.Imm, in.Size = reg(), reg(), uint64(r.byte()), 1<<(r.byte()%4)
+					if r.byte()%8 == 0 {
+						in.Size = r.byte() // invalid width
+					}
+				case OpStore:
+					in.A, in.B, in.Imm, in.Size = reg(), reg(), uint64(r.byte()), 1<<(r.byte()%4)
+				case OpBr:
+					in.Blk0 = target()
+				case OpCondBr:
+					in.A, in.Blk0, in.Blk1 = reg(), target(), target()
+				case OpCall:
+					// Call "downward" by default so the graph stays acyclic;
+					// a corrupting draw points anywhere, including backward.
+					ci := fi + 1 + int(r.byte())%nFuncs
+					if r.byte()%8 == 0 {
+						ci = int(r.byte()) % nFuncs
+					}
+					if ci < nFuncs {
+						in.Callee = funcs[ci]
+						in.Dst = reg()
+						nArgs := in.Callee.NumParams
+						if r.byte()%8 == 0 {
+							nArgs = int(r.byte() % 4) // possibly wrong arity
+						}
+						for a := 0; a < nArgs; a++ {
+							in.Args = append(in.Args, reg())
+						}
+					} else {
+						in.Op = OpConst
+						in.Dst, in.Imm = reg(), r.u64()
+					}
+				case OpRet:
+					in.A = reg()
+				case OpAlloc:
+					in.Dst, in.A = reg(), reg()
+				case OpHavoc:
+					in.Dst, in.A, in.Imm, in.HashID = reg(), reg(), uint64(r.byte()%64), int(r.byte()%3)-1
+				}
+				blk.Instrs = append(blk.Instrs, in)
+			}
+			// Usually terminate; a corrupting draw leaves the block open or
+			// buries the terminator mid-block (instrs appended above follow).
+			if r.byte()%16 != 0 {
+				switch r.byte() % 3 {
+				case 0:
+					blk.Instrs = append(blk.Instrs, &Instr{Op: OpRet, A: reg()})
+				case 1:
+					blk.Instrs = append(blk.Instrs, &Instr{Op: OpBr, Blk0: target()})
+				case 2:
+					blk.Instrs = append(blk.Instrs, &Instr{Op: OpCondBr, A: reg(), Blk0: target(), Blk1: target()})
+				}
+			}
+		}
+	}
+	m.Layout()
+	return m
+}
+
+// FuzzModuleValidate drives Validate over arbitrary decoded modules:
+// whatever the input, Validate must return an error or nil, never panic.
+// Modules it accepts must survive the Disassemble round-trip — stable,
+// non-empty text naming every function — and stay valid on re-check
+// (Validate must not mutate what it inspects).
+func FuzzModuleValidate(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 1, 1, 0, 2, 1, 3, 0, 1})
+	f.Add([]byte{2, 8, 3, 1, 40, 3, 2, 4, 2, 1, 4, 5, 6, 7, 8, 9, 0xff, 0xf0, 0xf8})
+	f.Add(bytes.Repeat([]byte{7, 13, 254}, 40))
+	f.Add([]byte{1, 200, 2, 1, 5, 3, 3, 2, 4, 9, 9, 9, 12, 0, 1, 30, 0, 2, 2, 2, 1, 1, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m := decodeModule(data)
+		if err := m.Validate(); err != nil {
+			return // structurally broken input, correctly rejected
+		}
+		dis := m.Disassemble()
+		if dis == "" {
+			t.Fatal("valid module disassembled to nothing")
+		}
+		for name := range m.Funcs {
+			if !bytes.Contains([]byte(dis), []byte(name)) {
+				t.Fatalf("disassembly omits function %s:\n%s", name, dis)
+			}
+		}
+		if again := m.Disassemble(); again != dis {
+			t.Fatalf("disassembly unstable:\n--- first\n%s\n--- second\n%s", dis, again)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("module turned invalid on re-validation: %v", err)
+		}
+	})
+}

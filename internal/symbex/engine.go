@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"castan/internal/analysis/cachecost"
+	"castan/internal/analysis/taint"
 	"castan/internal/budget"
 	"castan/internal/cachemodel"
 	"castan/internal/expr"
@@ -130,11 +131,24 @@ type Engine struct {
 	// deterministic.
 	SolverFault func() bool
 
+	// Taint, when non-nil, enables taint-directed concrete folding: hash
+	// sites whose key the analysis proves input-independent execute
+	// concretely (no havoc record, no rainbow table), resolved symbolic
+	// addresses write their forced constant back into the register, and
+	// address expressions over already-pinned havoc symbols skip the
+	// contended-candidate sweep. All of it is model-preserving — the
+	// engine explores exactly the paths it would without Taint, with
+	// strictly fewer solver queries — so leaving this nil only costs
+	// effort, never coverage.
+	Taint *taint.Analysis
+
 	sol      solver.Solver
 	nextID   int
 	forks    int
 	explored int
 	hStatic  *obs.Histogram
+	cFolded  *obs.Counter
+	cAvoided *obs.Counter
 }
 
 // Result is the outcome of an exploration.
@@ -244,6 +258,8 @@ func (e *Engine) Run() (*Result, error) {
 		hPathCons = e.Obs.Histogram("symbex.path_constraints", obs.ExpBuckets(4, 14)...)
 	)
 	e.hStatic = e.Obs.Histogram("symbex.static_potential", obs.ExpBuckets(8, 16)...)
+	e.cFolded = e.Obs.Counter("symbex.folded_instructions")
+	e.cAvoided = e.Obs.Counter("solver.queries_avoided")
 
 	var completed []*State
 	done := 0
@@ -484,6 +500,7 @@ func (e *Engine) step(s *State, entry *ir.Func) []*State {
 			if !ok {
 				return forks
 			}
+			e.writebackAddr(s, in, addr)
 			s.CurCost += e.memCost(s, addr)
 			s.setReg(in.Dst, s.mem.read(addr, in.Size))
 		case ir.OpStore:
@@ -492,6 +509,7 @@ func (e *Engine) step(s *State, entry *ir.Func) []*State {
 			if !ok {
 				return forks
 			}
+			e.writebackAddr(s, in, addr)
 			s.CurCost += e.memCost(s, addr)
 			s.mem.write(addr, s.reg(in.B), in.Size)
 		case ir.OpBr:
@@ -572,9 +590,39 @@ func (e *Engine) step(s *State, entry *ir.Func) []*State {
 			s.trapped = fmt.Errorf("bad opcode %d", in.Op)
 			return forks
 		}
+		// Taint-directed fold accounting: an instruction the analysis
+		// proved input-independent whose result came out constant needed
+		// no symbolic machinery at all.
+		if e.Taint != nil && s.trapped == nil {
+			switch in.Op {
+			case ir.OpBin, ir.OpCmp, ir.OpSelect, ir.OpLoad, ir.OpHavoc:
+				if in.Dst != ir.NoReg && e.Taint.ClassOf(in) == taint.Untainted {
+					if _, isC := s.top().regs[in.Dst].IsConst(); isC {
+						e.cFolded.Inc()
+					}
+				}
+			}
+		}
 		f.pc++
 	}
 	return forks
+}
+
+// writebackAddr folds a just-resolved address back into the base
+// register: resolveAddr pinned Eq(base+Imm, addr), which determines the
+// base register uniquely (mod 2^64), so subsequent accesses through it
+// take the constant fast path instead of re-running the candidate
+// sweep. Model-preserving — any later sweep over the same pinned
+// symbols could only re-derive this very address.
+func (e *Engine) writebackAddr(s *State, in *ir.Instr, addr uint64) {
+	if e.Taint == nil {
+		return
+	}
+	if _, isC := s.reg(in.A).IsConst(); isC {
+		return
+	}
+	s.setReg(in.A, expr.Const(addr-in.Imm))
+	e.cFolded.Inc()
 }
 
 func binToExpr(b ir.BinOp) expr.Op {
@@ -842,6 +890,35 @@ func (e *Engine) resolveAddr(s *State, a *expr.Expr) (uint64, bool) {
 		hot := s.tracker.HotLines()
 		lists := [2][]uint64{candidates, hot}
 		caps := [2]int{24, 8}
+		// Taint-directed sweep skip: when every symbol in a is a havoc
+		// output a previous pin already forced, the path constraints
+		// determine a's value — every candidate line but the model's own
+		// would come back Unsat from localRepair, and the model's line
+		// would succeed for free and pin the value the model already
+		// holds. Jump straight to that outcome, crediting the probes the
+		// sweep would have burned.
+		if e.Taint != nil && s.allPinnedHavoc(a) {
+			addr := a.Eval(s.model)
+			modelLine := addr &^ (lb - 1)
+			avoided := uint64(0)
+		sweep:
+			for li, list := range lists {
+				tried := 0
+				for _, line := range list {
+					if line+lb <= iv.Lo || line > iv.Hi || tried >= caps[li] {
+						continue
+					}
+					tried++
+					if line == modelLine {
+						break sweep
+					}
+					avoided++
+				}
+			}
+			e.cAvoided.Add(avoided)
+			s.addConstraint(expr.Eq(a, expr.Const(addr)))
+			return addr, true
+		}
 		for li, list := range lists {
 			tried := 0
 			for _, line := range list {
@@ -857,6 +934,7 @@ func (e *Engine) resolveAddr(s *State, a *expr.Expr) (uint64, bool) {
 				s.model = m
 				addr := a.Eval(m)
 				s.addConstraint(expr.Eq(a, expr.Const(addr)))
+				s.markPinned(a)
 				return addr, true
 			}
 		}
@@ -865,6 +943,7 @@ func (e *Engine) resolveAddr(s *State, a *expr.Expr) (uint64, bool) {
 	// it directly yields a consistent concrete address.
 	addr := a.Eval(s.model)
 	s.addConstraint(expr.Eq(a, expr.Const(addr)))
+	s.markPinned(a)
 	return addr, true
 }
 
@@ -900,6 +979,31 @@ func (e *Engine) havoc(s *State, in *ir.Instr) {
 	for i := range key {
 		key[i] = s.mem.readByte(keyAddr + uint64(i))
 	}
+	// Taint-directed fold: when the analysis proved this site's key
+	// input-independent and the key bytes are indeed all concrete, the
+	// hash output is a run-to-run constant — compute it outright. No
+	// havoc record means no fresh symbols, no candidate sweeps on
+	// addresses derived from it, and no rainbow table downstream.
+	if e.Taint != nil && e.Taint.ClassOf(in) == taint.Untainted {
+		concrete := make([]byte, keyLen)
+		allConst := true
+		for i, kb := range key {
+			v, ok := kb.IsConst()
+			if !ok {
+				allConst = false
+				break
+			}
+			concrete[i] = byte(v)
+		}
+		if allConst {
+			mask := uint64(1)<<uint(h.Bits) - 1
+			if h.Bits >= 64 {
+				mask = ^uint64(0)
+			}
+			s.setReg(in.Dst, expr.Const(h.Fn(concrete)&mask))
+			return
+		}
+	}
 	nOut := (h.Bits + 7) / 8
 	outVars := make([]expr.VarID, nOut)
 	outBytes := make([]*expr.Expr, nOut)
@@ -913,6 +1017,7 @@ func (e *Engine) havoc(s *State, in *ir.Instr) {
 		mask := uint64(1)<<uint(h.Bits) - 1
 		out = expr.And(out, expr.Const(mask))
 	}
+	s.markHavocVars(outVars)
 	s.Havocs = append(s.Havocs, HavocRecord{
 		HashID:  in.HashID,
 		Packet:  s.PacketsDone,

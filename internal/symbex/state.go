@@ -69,6 +69,16 @@ type State struct {
 	packetStartCost uint64
 	trapped         error
 
+	// havocVars marks the fresh symbols minted for havoc outputs;
+	// pinnedVars marks havoc symbols that a resolveAddr pin has already
+	// forced through an Eq(addr, const) path constraint. Together they
+	// let the engine prove a later address over the same symbols is
+	// already determined, skipping the contended-candidate sweep whose
+	// every probe would come back Unsat (taint-directed folding; both
+	// nil until the first havoc / first pin).
+	havocVars  map[expr.VarID]bool
+	pinnedVars map[expr.VarID]bool
+
 	// model is a cached satisfying assignment of the state's constraints
 	// (variables absent from the map are 0). It lets branch feasibility be
 	// decided by evaluation — the side the model satisfies is free — and
@@ -114,7 +124,58 @@ func (s *State) clone(newID int) *State {
 	if s.tracker != nil {
 		n.tracker = s.tracker.Clone()
 	}
+	if s.havocVars != nil {
+		n.havocVars = make(map[expr.VarID]bool, len(s.havocVars))
+		for k := range s.havocVars {
+			n.havocVars[k] = true
+		}
+	}
+	if s.pinnedVars != nil {
+		n.pinnedVars = make(map[expr.VarID]bool, len(s.pinnedVars))
+		for k := range s.pinnedVars {
+			n.pinnedVars[k] = true
+		}
+	}
 	return n
+}
+
+// markHavocVars records freshly minted havoc output symbols.
+func (s *State) markHavocVars(vars []expr.VarID) {
+	if s.havocVars == nil {
+		s.havocVars = make(map[expr.VarID]bool, len(vars))
+	}
+	for _, v := range vars {
+		s.havocVars[v] = true
+	}
+}
+
+// markPinned records that an address pin just forced every havoc symbol
+// occurring in a.
+func (s *State) markPinned(a *expr.Expr) {
+	for _, v := range a.VarList() {
+		if s.havocVars[v] {
+			if s.pinnedVars == nil {
+				s.pinnedVars = make(map[expr.VarID]bool)
+			}
+			s.pinnedVars[v] = true
+		}
+	}
+}
+
+// allPinnedHavoc reports whether a depends only on havoc symbols that a
+// previous address pin already forced — in which case the path
+// constraints determine a's value and the cached model yields it.
+func (s *State) allPinnedHavoc(a *expr.Expr) bool {
+	vars := a.VarList()
+	if len(vars) == 0 {
+		return false
+	}
+	for _, v := range vars {
+		if !s.havocVars[v] || !s.pinnedVars[v] {
+			return false
+		}
+	}
+	return true
 }
 
 // Constraints returns the state's path constraint conjuncts.
