@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-metrics bench-gate store-smoke trace-smoke fault-smoke fuzz-smoke lint-catalog fmt fmt-fix vet lint lint-strict irlint print-staticcheck-version check
+.PHONY: all build test race bench bench-smoke bench-metrics bench-gate store-smoke trace-smoke fault-smoke fuzz-smoke lint-catalog telemetry-catalog tracediff-selftest fmt fmt-fix vet lint lint-strict irlint print-staticcheck-version check
 
 # Pinned staticcheck release; CI installs exactly this version.
 STATICCHECK_VERSION = 2025.1.1
@@ -38,9 +38,13 @@ bench-metrics:
 # configuration and fail if any deterministic effort counter — probe line
 # reads, solver queries, state pops, budget ticks; never wall-clock —
 # regresses more than 5%. Update the baseline with `make bench-metrics`
-# when an effort change is intentional.
+# when an effort change is intentional. On failure the tracediff
+# attribution table names the stage and counter that moved, and the
+# per-NF reports land in BENCH_ATTRIB_DIR for CI artifact upload.
+BENCH_ATTRIB_DIR ?= /tmp/castan-bench-attrib
 bench-gate:
-	$(GO) run ./cmd/benchmetrics -compare results/BENCH_castan.json
+	$(GO) run ./cmd/benchmetrics -compare results/BENCH_castan.json \
+		-attrib-dir $(BENCH_ATTRIB_DIR)
 
 # Store smoke (what CI runs): two identical cmd/castan runs sharing one
 # -store directory. The warm run must hit the store (castan.store.hits
@@ -161,6 +165,40 @@ lint-catalog:
 			echo "regenerate with: go test ./cmd/irlint/ -update"; \
 			exit 1; \
 		}
+
+# Regenerate docs/TELEMETRY.md, the counter/gauge/histogram/phase
+# catalog, from instrumented sample analyses. Run after adding or
+# renaming an instrument; CI's tracediff-selftest job fails on drift.
+telemetry-catalog:
+	$(GO) run ./cmd/telemetrycatalog -out docs/TELEMETRY.md
+
+# tracediff self-test (what CI runs): the stored fixture pair under
+# cmd/tracediff/testdata must keep diffing the same way — a clean exit on
+# identical runs, exit 3 with castan.discover as the top stage on the
+# regressed pair — and docs/TELEMETRY.md must match a regeneration.
+TRACEDIFF_SELFTEST_DIR ?= /tmp/castan-tracediff-selftest
+tracediff-selftest:
+	mkdir -p $(TRACEDIFF_SELFTEST_DIR)
+	$(GO) build -o $(TRACEDIFF_SELFTEST_DIR)/tracediff ./cmd/tracediff
+	$(TRACEDIFF_SELFTEST_DIR)/tracediff \
+		-base cmd/tracediff/testdata/base_metrics.json \
+		-new cmd/tracediff/testdata/base_metrics.json
+	@code=0; $(TRACEDIFF_SELFTEST_DIR)/tracediff \
+		-base cmd/tracediff/testdata/base_metrics.json \
+		-base-trace cmd/tracediff/testdata/base_trace.jsonl \
+		-new cmd/tracediff/testdata/regressed_metrics.json \
+		-new-trace cmd/tracediff/testdata/regressed_trace.jsonl \
+		-json $(TRACEDIFF_SELFTEST_DIR)/report.json || code=$$?; \
+	if [ "$$code" -ne 3 ]; then echo "want exit 3 on regressed fixtures, got $$code"; exit 1; fi
+	grep -q '"top_stage": *"castan.discover"' $(TRACEDIFF_SELFTEST_DIR)/report.json || { \
+		echo "fixture report lost its castan.discover attribution:"; \
+		cat $(TRACEDIFF_SELFTEST_DIR)/report.json; exit 1; \
+	}
+	$(GO) run ./cmd/telemetrycatalog -out $(TRACEDIFF_SELFTEST_DIR)/TELEMETRY.md
+	diff -u docs/TELEMETRY.md $(TRACEDIFF_SELFTEST_DIR)/TELEMETRY.md || { \
+		echo "docs/TELEMETRY.md drifted; regenerate with: make telemetry-catalog"; \
+		exit 1; \
+	}
 
 # Used by CI to install the exact pinned staticcheck.
 print-staticcheck-version:

@@ -25,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"castan/internal/budget"
@@ -32,28 +33,14 @@ import (
 	"castan/internal/memsim"
 	"castan/internal/nf"
 	"castan/internal/obs"
+	"castan/internal/obs/tracediff"
 	"castan/internal/store"
 )
 
-// coreCounters are the effort columns every benchmark row carries. All
-// of them are deterministic for a fixed (nf, packets, states, seed) —
-// they count work items, not time — which is what makes them usable as a
-// CI regression gate.
-var coreCounters = []string{
-	"solver.queries",
-	"solver.backtracks",
-	"symbex.states_explored",
-	"symbex.forks",
-	"symbex.instructions",
-	"memsim.accesses",
-	"memsim.dram_misses",
-	"memsim.probe_line_reads",
-	"rainbow.chains",
-	"castan.havocs_reconciled",
-	"castan.store.hits",
-	"symbex.folded_instructions",
-	"solver.queries_avoided",
-}
+// coreCounters are the effort columns every benchmark row carries: the
+// canonical perf-gate list, shared with the telemetry catalog so
+// docs/TELEMETRY.md and this gate can never disagree about what gates.
+var coreCounters = obs.GateCounters
 
 type row struct {
 	NF       string            `json:"nf"`
@@ -95,6 +82,7 @@ func main() {
 		storeDir  = flag.String("store", "", "cross-run artifact store directory (see cmd/castan -store)")
 		compare   = flag.String("compare", "", "baseline bench JSON: re-run its configuration and exit 1 if any deterministic effort counter regresses more than -tolerance (perf gate mode; -out/-packets/-states/-seed are ignored)")
 		tolerance = flag.Float64("tolerance", 0.05, "allowed relative effort-counter regression in -compare mode")
+		attribDir = flag.String("attrib-dir", "", "in -compare mode, write per-NF tracediff attribution reports (JSON) to this directory on failure — CI uploads them as artifacts")
 	)
 	flag.Parse()
 	var st *store.Store
@@ -106,7 +94,7 @@ func main() {
 		}
 	}
 	if *compare != "" {
-		os.Exit(compareAgainst(*compare, *tolerance, st))
+		os.Exit(compareAgainst(*compare, *tolerance, st, *attribDir))
 	}
 	names := nf.Names
 	if *nfs != "" {
@@ -196,8 +184,11 @@ func runRows(names []string, packets, states int, seed uint64, st *store.Store) 
 // configuration and diff every deterministic effort counter. Counters are
 // compared over the intersection of the baseline's and the fresh run's
 // columns, so a baseline written before a counter existed still gates the
-// counters it has. Wall-clock fields are never compared.
-func compareAgainst(path string, tolerance float64, st *store.Store) int {
+// counters it has. Wall-clock fields are never compared. On failure the
+// tracediff attribution table names which stage's counters moved, and
+// attribDir (when set) receives the per-NF reports as JSON for CI
+// artifact upload.
+func compareAgainst(path string, tolerance float64, st *store.Store, attribDir string) int {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		fatal(err)
@@ -247,6 +238,19 @@ func compareAgainst(path string, tolerance float64, st *store.Store) int {
 			}
 		}
 		check("budget_ticks_used", br.BudgetTicksUsed, fr.BudgetTicksUsed)
+
+		// Stage attribution for the failures: the tracediff report names
+		// which stage owns each regressed counter instead of leaving a
+		// bare FAIL line, and attribDir receives it as a CI artifact.
+		rep := tracediff.Diff(rowRun(br, "baseline "+br.NF), rowRun(fr, "fresh "+fr.NF), tolerance)
+		if rep.HasRegressions() {
+			rep.Render(os.Stdout)
+			if attribDir != "" {
+				if err := writeAttrib(attribDir, fr.NF, rep); err != nil {
+					fmt.Fprintln(os.Stderr, "benchmetrics: attribution report:", err)
+				}
+			}
+		}
 	}
 	if regressions > 0 {
 		fmt.Printf("perf gate: %d regression(s) beyond %.0f%% tolerance\n", regressions, tolerance*100)
@@ -254,6 +258,35 @@ func compareAgainst(path string, tolerance float64, st *store.Store) int {
 	}
 	fmt.Println("perf gate: all effort counters within tolerance")
 	return 0
+}
+
+// rowRun lifts a bench row into a tracediff run: the gated effort
+// counters plus budget_ticks_used as a pseudo-counter, and the recorded
+// phase durations for attribution.
+func rowRun(r row, label string) *tracediff.Run {
+	counters := make(map[string]uint64, len(r.Counters)+1)
+	for k, v := range r.Counters {
+		counters[k] = v
+	}
+	counters["budget_ticks_used"] = r.BudgetTicksUsed
+	return &tracediff.Run{Label: label, Counters: counters, Phases: r.Phases}
+}
+
+func writeAttrib(dir, nfName string, rep *tracediff.Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, "attrib_"+nfName+".json"))
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -52,6 +52,9 @@ func main() {
 		budgetT  = flag.Uint64("budget", 0, "whole-run budget in deterministic ticks (0 = unlimited); on exhaustion the pipeline degrades instead of failing")
 		deadline = flag.Duration("deadline", 0, "wall-clock deadline (0 = none); checked at deterministic pipeline points and degrades like -budget")
 		failDeg  = flag.Bool("fail-on-degraded", false, "exit 1 instead of 3 when any stage degraded")
+		progress = flag.Bool("progress", false, "render live per-stage progress on stderr while the analysis runs")
+		events   = flag.String("events", "", "stream the live ProgressEvent feed as JSON Lines to this path")
+		httpDbg  = flag.String("httpdebug", "", "serve net/http/pprof and a /metricsz live metrics snapshot on this address (e.g. localhost:6060); local profiling only — never expose beyond localhost")
 	)
 	flag.Parse()
 	if *nfName == "" {
@@ -107,9 +110,41 @@ func main() {
 			cfg.Budget.SetDeadline(nil, *deadline)
 		}
 	}
-	if *trace != "" || *metrics != "" {
+	if *trace != "" || *metrics != "" || *progress || *events != "" || *httpDbg != "" {
 		// CLI runs use the wall clock: trace durations are real time.
 		cfg.Obs = obs.New(nil)
+	}
+	if *progress {
+		cfg.Obs.Subscribe(obs.NewTTYRenderer(os.Stderr))
+	}
+	// The events sink is closed explicitly on every exit path (fatal and
+	// os.Exit bypass defers): a buffered write that never reached disk
+	// must fail the run, not vanish.
+	var eventsSink *obs.JSONLSink
+	if *events != "" {
+		var err error
+		eventsSink, err = obs.OpenJSONLSink(*events)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Obs.Subscribe(eventsSink)
+	}
+	closeEvents := func() {
+		if eventsSink == nil {
+			return
+		}
+		if err := eventsSink.Close(); err != nil {
+			eventsSink = nil
+			fatal(fmt.Errorf("events stream %s: %w", *events, err))
+		}
+		eventsSink = nil
+	}
+	if *httpDbg != "" {
+		ln, err := obs.ServeDebug(*httpDbg, cfg.Obs)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("debug server on http://%s (/debug/pprof/, /metricsz) — local profiling only\n", ln.Addr())
 	}
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -124,7 +159,16 @@ func main() {
 	}
 	res, err := castan.Analyze(inst, hier, cfg)
 	if err != nil {
+		if eventsSink != nil {
+			_ = eventsSink.Close() // best-effort flush; the analysis error wins
+		}
 		fatal(err)
+	}
+	// The stream is complete once Analyze returns; close (and flush) it
+	// before any later exit path can bypass the deferred stack.
+	closeEvents()
+	if *events != "" {
+		fmt.Printf("streamed progress events to %s\n", *events)
 	}
 	if *trace != "" {
 		if err := cfg.Obs.WriteChromeTraceFile(*trace); err != nil {

@@ -27,20 +27,22 @@ import (
 
 func main() {
 	var (
-		figure  = flag.Int("figure", 0, "reproduce one figure (4-15)")
-		table   = flag.Int("table", 0, "reproduce one table (1-5)")
-		all     = flag.Bool("all", false, "reproduce every table and figure")
-		nfs     = flag.String("nfs", "", "comma-separated NF subset for tables")
-		seed    = flag.Uint64("seed", 2018, "campaign seed")
-		packets = flag.Int("packets", 0, "Zipfian/UniRand workload size")
-		states  = flag.Int("states", 6000, "CASTAN exploration budget")
-		nfName  = flag.String("nf", "", "measure one NF under a custom workload")
-		pcapIn  = flag.String("pcap", "", "PCAP file with the custom workload")
-		mix     = flag.String("mix", "", "run the adversarial-fraction sweep (§5.5 future work) for this NF")
-		workers = flag.Int("workers", 0, "worker count for the campaign (0 = GOMAXPROCS); table cells are identical at any value")
-		trace   = flag.String("trace", "", "write a Chrome trace_event file of the campaign's CASTAN analyses to this path")
-		metrics = flag.String("metrics-out", "", "write the campaign's aggregated analysis metrics (JSON) to this path")
-		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
+		figure   = flag.Int("figure", 0, "reproduce one figure (4-15)")
+		table    = flag.Int("table", 0, "reproduce one table (1-5)")
+		all      = flag.Bool("all", false, "reproduce every table and figure")
+		nfs      = flag.String("nfs", "", "comma-separated NF subset for tables")
+		seed     = flag.Uint64("seed", 2018, "campaign seed")
+		packets  = flag.Int("packets", 0, "Zipfian/UniRand workload size")
+		states   = flag.Int("states", 6000, "CASTAN exploration budget")
+		nfName   = flag.String("nf", "", "measure one NF under a custom workload")
+		pcapIn   = flag.String("pcap", "", "PCAP file with the custom workload")
+		mix      = flag.String("mix", "", "run the adversarial-fraction sweep (§5.5 future work) for this NF")
+		workers  = flag.Int("workers", 0, "worker count for the campaign (0 = GOMAXPROCS); table cells are identical at any value")
+		trace    = flag.String("trace", "", "write a Chrome trace_event file of the campaign's CASTAN analyses to this path")
+		metrics  = flag.String("metrics-out", "", "write the campaign's aggregated analysis metrics (JSON) to this path")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
+		progress = flag.Bool("progress", false, "render live campaign progress on stderr (per-NF analyses interleave: this is live telemetry, not a deterministic stream)")
+		httpDbg  = flag.String("httpdebug", "", "serve net/http/pprof and a /metricsz live metrics snapshot on this address (e.g. localhost:6060); local profiling only — never expose beyond localhost")
 	)
 	flag.Parse()
 
@@ -50,8 +52,18 @@ func main() {
 	}
 
 	var rec *obs.Recorder
-	if *trace != "" || *metrics != "" {
+	if *trace != "" || *metrics != "" || *progress || *httpDbg != "" {
 		rec = obs.New(nil)
+	}
+	if *progress {
+		rec.Subscribe(obs.NewTTYRenderer(os.Stderr))
+	}
+	if *httpDbg != "" {
+		ln, err := obs.ServeDebug(*httpDbg, rec)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("debug server on http://%s (/debug/pprof/, /metricsz) — local profiling only\n", ln.Addr())
 	}
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)

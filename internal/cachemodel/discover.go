@@ -144,6 +144,13 @@ type DiscoverConfig struct {
 	// callers typically bind cachecost.ProvablyDisjoint over such a model
 	// (the function is injected because cachecost imports this package).
 	Disjoint func(a, b uint64) bool
+	// Progress, when set, is called after each findOne iteration with the
+	// number of contention sets discovered so far and the pool addresses
+	// still unclassified. It runs on Discover's goroutine between
+	// iterations — the same deterministic orchestration point as the
+	// budget check — so callers may publish telemetry from it without
+	// breaking worker-count invariance.
+	Progress func(setsFound, poolLeft int)
 }
 
 // Discover runs the §3.2 pipeline and returns the model.
@@ -191,6 +198,9 @@ func Discover(p Prober, cfg DiscoverConfig) (*Model, error) {
 		}
 		model.Sets = append(model.Sets, ContentionSet{Addrs: set})
 		pool = rest
+		if cfg.Progress != nil {
+			cfg.Progress(len(model.Sets), len(pool))
+		}
 	}
 	if budgetReason != "" && len(model.Sets) == 0 {
 		return nil, fmt.Errorf("%w (%s)", ErrBudget, budgetReason)

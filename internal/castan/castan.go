@@ -260,6 +260,7 @@ func Analyze(inst *nf.Instance, hier *memsim.Hierarchy, cfg Config) (*Output, er
 	var degr []StageDegradation
 	degrade := func(stage, reason, fallback string) {
 		degr = append(degr, StageDegradation{Stage: stage, Reason: reason, Fallback: fallback})
+		rec.Note(stage, "degraded: "+reason+"; fallback: "+fallback)
 	}
 	// One counting solver-fault closure per run, shared by every solver
 	// on the pipeline goroutine (the engine's and concretize's); worker
@@ -272,6 +273,7 @@ func Analyze(inst *nf.Instance, hier *memsim.Hierarchy, cfg Config) (*Output, er
 	// run yields the facts the later stages reuse: the memory-region
 	// footprints seed contention-set candidates when the NF declares no
 	// attack regions, and the static havoc sites bound rainbow-table work.
+	rec.StageBegin("castan.static")
 	spStatic := root.Child("castan.static")
 	rep := analysis.Lint(inst.Mod, analysis.Options{
 		EntryHints: analysis.NFEntryHints(),
@@ -298,6 +300,7 @@ func Analyze(inst *nf.Instance, hier *memsim.Hierarchy, cfg Config) (*Output, er
 		}
 	}
 	spStatic.End()
+	rec.StageEnd("castan.static")
 
 	// Stage 1: empirical cache model over the NF's attack regions; when
 	// the NF declares none, fall back to the statically derived table
@@ -306,6 +309,7 @@ func Analyze(inst *nf.Instance, hier *memsim.Hierarchy, cfg Config) (*Output, er
 	if len(regions) == 0 {
 		regions = staticAttackRegions(mr)
 	}
+	rec.StageBegin("castan.discover")
 	spDiscover := root.Child("castan.discover")
 	// Probe ticks charge the "discover" stage through the hierarchy
 	// itself (forks inherit the stage); the fault hook perturbs probe
@@ -340,6 +344,7 @@ func Analyze(inst *nf.Instance, hier *memsim.Hierarchy, cfg Config) (*Output, er
 	hier.SetProbeFault(nil)
 	spDiscover.End()
 	rec.Counter("castan.contention_sets").Add(uint64(modelSets(model)))
+	rec.StageEnd("castan.discover")
 
 	// Stage 1.5: abstract cache analysis. The must/may fixpoint classifies
 	// every load/store (always-hit accesses cost MemL1, everything else is
@@ -350,6 +355,7 @@ func Analyze(inst *nf.Instance, hier *memsim.Hierarchy, cfg Config) (*Output, er
 	// each other.
 	var cc *cachecost.Analysis
 	if !cfg.NoStaticCost {
+		rec.StageBegin("castan.cachecost")
 		spCache := root.Child("castan.cachecost")
 		geo := hier.Geometry()
 		cc = cachecost.Run(mf, mr, cachecost.Config{
@@ -358,12 +364,14 @@ func Analyze(inst *nf.Instance, hier *memsim.Hierarchy, cfg Config) (*Output, er
 			Obs:      rec,
 		})
 		spCache.End()
+		rec.StageEnd("castan.cachecost")
 	}
 
 	// Stage 2: directed symbolic execution. Realized costs use the
 	// realistic model; the search heuristic uses an optimistic one
 	// (memory at DRAM latency, loops assumed to run as often as there are
 	// packets), so the best-first queue surfaces worst-case paths first.
+	rec.StageBegin("castan.icfg")
 	spICFG := root.Child("castan.icfg")
 	an, err := icfg.Analyze(inst.Mod, 2, icfg.DefaultCostModel())
 	if err != nil {
@@ -378,6 +386,7 @@ func Analyze(inst *nf.Instance, hier *memsim.Hierarchy, cfg Config) (*Output, er
 		return nil, fmt.Errorf("castan: icfg potential: %w", err)
 	}
 	spICFG.End()
+	rec.StageEnd("castan.icfg")
 	eng := &symbex.Engine{
 		Mod:               inst.Mod,
 		Analysis:          an,
@@ -398,9 +407,11 @@ func Analyze(inst *nf.Instance, hier *memsim.Hierarchy, cfg Config) (*Output, er
 		SolverFault: solverFault,
 		Taint:       ta,
 	}
+	rec.StageBegin("castan.symbex")
 	spSymbex := root.Child("castan.symbex")
 	res, err := eng.Run()
 	spSymbex.End()
+	rec.StageEnd("castan.symbex")
 	if err != nil {
 		return nil, fmt.Errorf("castan: symbex: %w", err)
 	}
@@ -408,6 +419,7 @@ func Analyze(inst *nf.Instance, hier *memsim.Hierarchy, cfg Config) (*Output, er
 	// Stages 3+4: reconcile havocs and solve. finish carries everything
 	// common to the clean path and the degraded ones: summary fields,
 	// the crosscheck sanitizer, degradation counters, spans, telemetry.
+	rec.StageBegin("castan.reconcile")
 	spReconcile := root.Child("castan.reconcile")
 	finish := func(out *Output) (*Output, error) {
 		out.ContentionSetsFound = modelSets(model)
@@ -437,10 +449,12 @@ func Analyze(inst *nf.Instance, hier *memsim.Hierarchy, cfg Config) (*Output, er
 			// injected faults a failure is the expected consequence of a
 			// corrupted cache model, so a faulty or already-degraded run
 			// downgrades the alarm to a degradation instead of dying.
+			rec.StageBegin("castan.crosscheck")
 			spCheck := root.Child("castan.crosscheck")
 			ccErr := cachecost.CrossCheck(cc, inst.Machine,
 				memsim.New(hier.Geometry(), cfg.Seed), "nf_process", out.Frames)
 			spCheck.End()
+			rec.StageEnd("castan.crosscheck")
 			if ccErr != nil {
 				if len(degr) == 0 && !cfg.Faults.Enabled() {
 					return nil, fmt.Errorf("castan: static cache analysis unsound on %s: %w",
@@ -458,6 +472,7 @@ func Analyze(inst *nf.Instance, hier *memsim.Hierarchy, cfg Config) (*Output, er
 		// End the spans before snapshotting so every phase is in the
 		// snapshot; Telemetry is the last field assigned.
 		spReconcile.End()
+		rec.StageEnd("castan.reconcile")
 		root.End()
 		out.Telemetry = rec.Snapshot()
 		return out, nil
@@ -674,6 +689,12 @@ func discoverModel(regions []nf.Region, hier *memsim.Hierarchy, cfg Config, rec 
 		if pm := cfg.PriorModel; pm != nil {
 			dcfg.Disjoint = func(a, b uint64) bool { return cachecost.ProvablyDisjoint(pm, a, b) }
 		}
+		if rec.Publishing() {
+			total := uint64(cfg.DiscoverMaxSets)
+			dcfg.Progress = func(setsFound, poolLeft int) {
+				rec.Progress("castan.discover", "contention_sets", uint64(setsFound), total)
+			}
+		}
 		return cachemodel.Discover(hier, dcfg)
 	}
 	st := cfg.Store
@@ -742,6 +763,10 @@ func discoverModel(regions []nf.Region, hier *memsim.Hierarchy, cfg Config, rec 
 func concretize(inst *nf.Instance, eng *symbex.Engine, st *symbex.State, cfg Config, staticHashIDs map[int]bool, degr *[]StageDegradation, solverFault func() bool) (*Output, error) {
 	degrade := func(stage, reason, fallback string) {
 		*degr = append(*degr, StageDegradation{Stage: stage, Reason: reason, Fallback: fallback})
+		// Attempts the caller rolls back still published their notes: the
+		// live stream reports what actually happened, in attempt order,
+		// which is deterministic (completed states are tried in order).
+		cfg.Obs.Note(stage, "degraded: "+reason+"; fallback: "+fallback)
 	}
 	// The engine maintains the invariant that each state's cached model
 	// satisfies its constraints, so it is both the starting model and the

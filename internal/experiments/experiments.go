@@ -122,6 +122,12 @@ func NewCampaign(cfg Config) *Campaign {
 // Castan returns (cached) the CASTAN analysis of the named NF.
 func (c *Campaign) Castan(nfName string) (*castan.Output, error) {
 	return c.outs.Do(nfName, func() (*castan.Output, error) {
+		// Campaign analyses fan out concurrently over one shared recorder,
+		// so these events are live telemetry — per-subscriber ordered and
+		// set-deterministic, but the interleaving across NFs reflects real
+		// scheduling (unlike the single-Analyze stream, which is
+		// byte-identical under a fake clock).
+		c.cfg.Obs.Progress("campaign", nfName, 0, 1)
 		inst, err := nf.New(nfName)
 		if err != nil {
 			return nil, err
@@ -149,7 +155,11 @@ func (c *Campaign) Castan(nfName string) (*castan.Output, error) {
 		if c.cfg.CastanBudget > 0 {
 			ccfg.Budget = budget.New(c.cfg.CastanBudget)
 		}
-		return castan.Analyze(inst, hier, ccfg)
+		out, err := castan.Analyze(inst, hier, ccfg)
+		if err == nil {
+			c.cfg.Obs.Progress("campaign", nfName, 1, 1)
+		}
+		return out, err
 	})
 }
 

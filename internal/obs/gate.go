@@ -1,0 +1,37 @@
+package obs
+
+// GateCounters is the canonical list of deterministic effort counters
+// the CI perf gate diffs (cmd/benchmetrics -compare) and the telemetry
+// catalog (docs/TELEMETRY.md) marks as gate-relevant. Every name here
+// counts work items, never time, so the values are bit-identical for a
+// fixed (nf, packets, states, seed) across machines, load and worker
+// counts — the property that lets the gate run with zero flake budget.
+//
+// Adding a counter here makes it gate regressions only after the next
+// `make bench-metrics` baseline refresh: the gate compares over the
+// intersection of baseline and fresh columns.
+var GateCounters = []string{
+	"solver.queries",
+	"solver.backtracks",
+	"symbex.states_explored",
+	"symbex.forks",
+	"symbex.instructions",
+	"memsim.accesses",
+	"memsim.dram_misses",
+	"memsim.probe_line_reads",
+	"rainbow.chains",
+	"castan.havocs_reconciled",
+	"castan.store.hits",
+	"symbex.folded_instructions",
+	"solver.queries_avoided",
+}
+
+// GateCounter reports whether name is one of the perf gate's columns.
+func GateCounter(name string) bool {
+	for _, g := range GateCounters {
+		if g == name {
+			return true
+		}
+	}
+	return false
+}

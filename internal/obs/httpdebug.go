@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// ServeDebug starts an HTTP debug server on addr serving net/http/pprof
+// under /debug/pprof/ plus a live snapshot of the recorder at /metricsz.
+// It returns the bound listener (so callers can print the resolved
+// address and tests can pick port 0) and serves until the process exits.
+//
+// This is a local profiling aid only — it performs no authentication and
+// must never be exposed beyond localhost. The CLIs keep it off by
+// default behind -httpdebug.
+func ServeDebug(addr string, rec *Recorder) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metricsz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		m := rec.Snapshot()
+		if m == nil {
+			m = &Metrics{}
+		}
+		_ = m.WriteJSON(w) // the client hanging up is not our error
+	})
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln, nil
+}

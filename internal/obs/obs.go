@@ -78,6 +78,14 @@ func (c *FakeClock) Now() uint64 { return c.now.Add(c.step) }
 // Recorder is the per-run sink for all instruments. Instruments are
 // created on first use and live for the recorder's lifetime; hot paths
 // should look an instrument up once and hold the pointer.
+//
+// Beyond the post-hoc snapshot, a recorder is also a live event bus:
+// Subscribe attaches ProgressEvent subscribers and the pipeline publishes
+// stage boundaries, batch progress and degradation notes through the
+// StageBegin/StageEnd/Progress/Note methods (see progress.go). With no
+// subscribers every publish method is a no-op that reads no clock and
+// touches no instrument, so an unsubscribed run's telemetry bytes are
+// unchanged.
 type Recorder struct {
 	clock Clock
 
@@ -87,6 +95,13 @@ type Recorder struct {
 	hists    map[string]*Histogram
 	events   []Event
 	nextID   int64
+
+	// Event-bus state (progress.go). subs/seq/watermark are guarded by
+	// mu; hasSubs is the lock-free fast path every publish checks first.
+	subs      []Subscriber
+	hasSubs   atomic.Bool
+	seq       uint64
+	watermark map[string]uint64
 }
 
 // New creates a recorder. A nil clock selects the wall clock; tests pass

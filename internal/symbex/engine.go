@@ -280,6 +280,12 @@ func (e *Engine) Run() (*Result, error) {
 		bSymbex.Charge(1)
 		cPops.Inc()
 		gQueue.Set(uint64(pq.Len()))
+		// Batch progress for live subscribers, published from the pop
+		// boundary — the run's single-goroutine orchestration point — every
+		// 256 pops so the stream stays cheap and deterministic.
+		if pops%256 == 0 {
+			e.Obs.Progress("castan.symbex", "state_pops", uint64(pops), uint64(e.Cfg.MaxStates))
+		}
 		if e.Trace != nil {
 			e.Trace("pop", s)
 		}

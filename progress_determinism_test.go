@@ -1,0 +1,151 @@
+package repro
+
+import (
+	"bytes"
+	"testing"
+
+	"castan/internal/budget"
+	"castan/internal/castan"
+	"castan/internal/memsim"
+	"castan/internal/nf"
+	"castan/internal/obs"
+)
+
+// The live ProgressEvent stream is part of the determinism contract
+// (DESIGN.md decision 13): sequence numbers and fake-clock timestamps
+// are assigned only at single-goroutine orchestration points, so the
+// JSONL bytes a subscriber sees are identical at W=1, W=4 and W=8 —
+// for a clean analysis and for a budget-exhausted degraded one, whose
+// stage cuts surface as deterministic "note" events.
+
+// progressAnalyze runs an lb-chain analysis with a JSONL sink
+// subscribed and returns the raw event-stream bytes. With degrade set,
+// an 8-pop symbex stage limit cuts the search mid-flight (the
+// budget_determinism_test.go recipe).
+func progressAnalyze(t *testing.T, workers int, degrade bool) []byte {
+	t.Helper()
+	inst, err := nf.New("lb-chain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.New(obs.NewFakeClock(1000))
+	var buf bytes.Buffer
+	sink := obs.NewJSONLSink(&buf)
+	rec.Subscribe(sink)
+	cfg := castan.Config{
+		NPackets:  10,
+		MaxStates: 4000,
+		Seed:      2018,
+		Workers:   workers,
+		Obs:       rec,
+	}
+	if degrade {
+		m := budget.New(0)
+		m.SetStageLimit(budget.StageSymbex, 8)
+		cfg.Budget = m
+	}
+	out, err := castan.Analyze(inst, memsim.New(memsim.DefaultGeometry(), 2018), cfg)
+	if err != nil {
+		t.Fatalf("Analyze(W=%d): %v", workers, err)
+	}
+	if degrade != out.Degraded() {
+		t.Fatalf("W=%d: Degraded() = %v, want %v", workers, out.Degraded(), degrade)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatalf("W=%d: sink close: %v", workers, err)
+	}
+	return buf.Bytes()
+}
+
+func checkProgressStream(t *testing.T, raw []byte, wantDegradeNote bool) {
+	t.Helper()
+	events, err := obs.ReadProgressEvents(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty progress stream")
+	}
+	begins := map[string]bool{}
+	ends := map[string]bool{}
+	sawNote := false
+	for i, ev := range events {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d: stream not gap-free", i, ev.Seq)
+		}
+		switch ev.Kind {
+		case obs.KindStageBegin:
+			begins[ev.Stage] = true
+		case obs.KindStageEnd:
+			ends[ev.Stage] = true
+		case obs.KindNote:
+			sawNote = true
+		}
+	}
+	for _, stage := range []string{"castan.static", "castan.discover", "castan.symbex", "castan.reconcile"} {
+		if !begins[stage] || !ends[stage] {
+			t.Errorf("stage %s missing begin/end events (begin=%v end=%v)", stage, begins[stage], ends[stage])
+		}
+	}
+	if wantDegradeNote && !sawNote {
+		t.Error("degraded run emitted no note events for the stage cuts")
+	}
+}
+
+func TestProgressStreamWorkerCountDeterminism(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		degrade bool
+	}{
+		{"clean", false},
+		{"budget-exhausted", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := progressAnalyze(t, 1, tc.degrade)
+			checkProgressStream(t, ref, tc.degrade)
+			for _, w := range []int{4, 8} {
+				got := progressAnalyze(t, w, tc.degrade)
+				if !bytes.Equal(got, ref) {
+					t.Errorf("W=%d: progress JSONL differs from W=1:\n%s\n---\n%s", w, got, ref)
+				}
+			}
+		})
+	}
+}
+
+// A recorder with no subscribers must publish nothing and touch no
+// shared counters: the existing byte goldens (determinism_test.go,
+// bench gate) were recorded before the event bus existed and must not
+// move because of it. TestUnsubscribedPublishIsFree in internal/obs
+// pins the no-clock-read property; this pins the end-to-end counter
+// surface at the pipeline level.
+func TestUnsubscribedAnalysisAddsNoCounters(t *testing.T) {
+	run := func(subscribe bool) map[string]uint64 {
+		inst, err := nf.New("lb-chain")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := obs.New(obs.NewFakeClock(1000))
+		if subscribe {
+			rec.Subscribe(obs.NewJSONLSink(&bytes.Buffer{}))
+		}
+		if _, err := castan.Analyze(inst, memsim.New(memsim.DefaultGeometry(), 2018), castan.Config{
+			NPackets:  10,
+			MaxStates: 4000,
+			Seed:      2018,
+			Obs:       rec,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return rec.Snapshot().Counters
+	}
+	bare, subscribed := run(false), run(true)
+	if len(bare) != len(subscribed) {
+		t.Errorf("subscriber changed the counter surface: %d counters bare, %d subscribed", len(bare), len(subscribed))
+	}
+	for k, v := range bare {
+		if subscribed[k] != v {
+			t.Errorf("counter %s: %d bare vs %d subscribed", k, v, subscribed[k])
+		}
+	}
+}
