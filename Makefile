@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-metrics bench-gate store-smoke trace-smoke fault-smoke fuzz-smoke lint-catalog telemetry-catalog tracediff-selftest fmt fmt-fix vet lint lint-strict irlint print-staticcheck-version check
+.PHONY: all build test race bench bench-smoke bench-metrics bench-gate store-smoke trace-smoke fault-smoke fuzz-smoke vrange-ablation lint-catalog telemetry-catalog tracediff-selftest fmt fmt-fix vet lint lint-strict irlint print-staticcheck-version check
 
 # Pinned staticcheck release; CI installs exactly this version.
 STATICCHECK_VERSION = 2025.1.1
@@ -106,6 +106,29 @@ fault-smoke:
 			-nf $$n -require-degraded; \
 	done
 
+# Value-range ablation smoke (what CI runs): one cmd/castan run on a
+# ring NF with -no-vrange, proving the analysis is cleanly severable —
+# pruning, merging, and the solver memo all off, yet the run completes,
+# writes a schema-valid report, and reports zero for every vrange
+# counter. CI overrides VRANGE_ABLATION_DIR and uploads it.
+VRANGE_ABLATION_DIR ?= /tmp/castan-vrange-ablation
+vrange-ablation:
+	mkdir -p $(VRANGE_ABLATION_DIR)
+	$(GO) build -o $(VRANGE_ABLATION_DIR)/castan ./cmd/castan
+	$(VRANGE_ABLATION_DIR)/castan -nf nat-ring -packets 6 -states 4000 \
+		-no-vrange \
+		-out $(VRANGE_ABLATION_DIR)/nat-ring.pcap \
+		-metrics-out $(VRANGE_ABLATION_DIR)/metrics.json \
+		-report $(VRANGE_ABLATION_DIR)/report.json
+	$(GO) run ./cmd/reportcheck -report $(VRANGE_ABLATION_DIR)/report.json \
+		-nf nat-ring
+	@for c in symbex.pruned_edges symbex.merged_states solver.memo_hits; do \
+		if grep -q "\"$$c\": *[1-9]" $(VRANGE_ABLATION_DIR)/metrics.json; then \
+			echo "-no-vrange run still moved $$c:"; \
+			grep "\"$$c\"" $(VRANGE_ABLATION_DIR)/metrics.json; exit 1; \
+		fi; \
+	done
+
 fmt:
 	@out="$$(gofmt -l .)"; \
 	if [ -n "$$out" ]; then \
@@ -153,7 +176,9 @@ fuzz-smoke:
 # Lint-catalog gate (what CI runs): regenerate the full irlint -json
 # document (findings with source coordinates, cache-cost stats, taint
 # controllability) for the whole NF catalog and fail on any drift from
-# the checked-in golden. Update with `go test ./cmd/irlint/ -update`.
+# the checked-in golden, then do the same for the value-range analysis
+# catalog golden. Update with `go test ./cmd/irlint/ -update` and
+# `go test ./internal/analysis/ -run TestVRangeCatalogGolden -update`.
 LINT_CATALOG_DIR ?= /tmp/castan-lint-catalog
 lint-catalog:
 	mkdir -p $(LINT_CATALOG_DIR)
@@ -165,6 +190,7 @@ lint-catalog:
 			echo "regenerate with: go test ./cmd/irlint/ -update"; \
 			exit 1; \
 		}
+	$(GO) test ./internal/analysis/ -run TestVRangeCatalogGolden -count=1
 
 # Regenerate docs/TELEMETRY.md, the counter/gauge/histogram/phase
 # catalog, from instrumented sample analyses. Run after adding or

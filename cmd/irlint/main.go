@@ -37,6 +37,7 @@ import (
 	"castan/internal/analysis"
 	"castan/internal/analysis/cachecost"
 	"castan/internal/analysis/taint"
+	"castan/internal/analysis/vrange"
 	"castan/internal/ir"
 	"castan/internal/nf"
 )
@@ -140,6 +141,8 @@ func run(mods []*ir.Module, verbose, werror, jsonOut bool, w io.Writer) int {
 			cc = cachecost.Run(mf, mr, cachecost.Config{Geometry: cachecost.DefaultGeometry()})
 			ta := taint.Run(mf, mr, taint.Config{EntryHints: taint.NFEntryTaints()})
 			rep.Findings = append(rep.Findings, ta.Controllability(cc)...)
+			vr := vrange.Run(mf, vrange.Config{EntryHints: vrange.NFEntryRanges()})
+			rep.Findings = append(rep.Findings, vr.Findings()...)
 			rep.Dedup()
 			rep.Sort()
 		}

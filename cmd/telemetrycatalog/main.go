@@ -61,6 +61,8 @@ var counterMeta = map[string]meta{
 	"rainbow.tables":                {"tables", "rainbow tables built (or loaded from the store) this run"},
 	"solver.backtracks":             {"backtracks", "constraint-solver search backtracks"},
 	"solver.hint_hits":              {"queries", "solver queries answered from the warm-start hint cache"},
+	"solver.memo_hits":              {"queries", "queries discharged without search by the memo (cached Unsat or range-probed model)"},
+	"solver.memo_misses":            {"queries", "memo-eligible queries that fell through to a full search"},
 	"solver.propagation_rounds":     {"rounds", "constraint-propagation rounds across all queries"},
 	"solver.queries":                {"queries", "satisfiability queries issued by symbolic execution"},
 	"solver.queries_avoided":        {"queries", "queries skipped by the constraint-subsumption fold"},
@@ -69,6 +71,8 @@ var counterMeta = map[string]meta{
 	"symbex.folded_instructions":    {"instructions", "instructions skipped by straight-line folding"},
 	"symbex.forks":                  {"states", "state forks at symbolic branches"},
 	"symbex.instructions":           {"instructions", "IR instructions symbolically executed"},
+	"symbex.merged_states":          {"states", "popped states dropped as duplicates at value-range merge points"},
+	"symbex.pruned_edges":           {"edges", "conditional-branch edges skipped as infeasible by value-range analysis"},
 	"symbex.state_pops":             {"states", "states popped off the priority queue (the searcher's step count)"},
 	"symbex.states_explored":        {"states", "distinct states explored before the budget or queue ran out"},
 	"symbex.trapped_states":         {"states", "states terminated by an IR trap"},

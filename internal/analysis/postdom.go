@@ -1,17 +1,19 @@
-package taint
+package analysis
 
 import (
 	"castan/internal/ir"
 )
 
-// postdoms computes immediate postdominators per block index by running
+// Postdoms computes immediate postdominators per block index by running
 // the Cooper-Harvey-Kennedy dominator algorithm over the reversed CFG
 // augmented with a virtual exit that every OpRet block flows to. The
 // result maps each block to its immediate postdominator's block index,
 // len(blocks) for the virtual exit itself, or -1 for blocks that cannot
 // reach function exit (those dominate nothing backwards; callers treat
-// their control-dependence region as unbounded).
-func postdoms(f *ir.Func) []int {
+// their control-dependence region as unbounded). It is the one shared
+// implementation behind taint's implicit-flow closure, vrange's
+// dead-edge reasoning, and symbex's merge-point selection.
+func Postdoms(f *ir.Func) []int {
 	n := len(f.Blocks)
 	exit := n
 	// Reversed graph over nodes 0..n (n = virtual exit): an original
@@ -108,12 +110,12 @@ func postdoms(f *ir.Func) []int {
 	return idom[:n]
 }
 
-// ctlRegion returns the block indices control-dependent on b's branch:
+// CtlRegion returns the block indices control-dependent on b's branch:
 // everything reachable from b's successors on the forward CFG without
 // passing through b's immediate postdominator ipd (-1 means unbounded —
 // b cannot reach exit — so the walk only stops at visited blocks). The
 // result is in ascending index order for determinism.
-func ctlRegion(f *ir.Func, b *ir.Block, ipd int) []int {
+func CtlRegion(f *ir.Func, b *ir.Block, ipd int) []int {
 	n := len(f.Blocks)
 	seen := make([]bool, n)
 	var stack []int
@@ -137,6 +139,25 @@ func ctlRegion(f *ir.Func, b *ir.Block, ipd int) []int {
 	for i := 0; i < n; i++ {
 		if seen[i] {
 			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// MergeBlocks returns the set of blocks that are the immediate
+// postdominator of some two-successor block — the KLEE-style merge
+// points where diverged paths rejoin. The virtual exit (a function-level
+// merge point) is not representable as a block and is handled by
+// callers (symbex merges at packet boundaries for it).
+func MergeBlocks(f *ir.Func) map[*ir.Block]bool {
+	pd := Postdoms(f)
+	out := map[*ir.Block]bool{}
+	for _, b := range f.Blocks {
+		if len(b.Succs()) < 2 {
+			continue
+		}
+		if ipd := pd[b.Index]; ipd >= 0 && ipd < len(f.Blocks) {
+			out[f.Blocks[ipd]] = true
 		}
 	}
 	return out

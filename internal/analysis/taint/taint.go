@@ -410,7 +410,7 @@ func (a *Analysis) analyzeFunc(f *ir.Func) bool {
 	}
 	pd, ok := a.pdoms[f]
 	if !ok {
-		pd = postdoms(f)
+		pd = analysis.Postdoms(f)
 		a.pdoms[f] = pd
 	}
 
@@ -715,7 +715,7 @@ func (a *Analysis) ctlFrom(f *ir.Func, pd []int, in [][]Taint, base Taint) []Tai
 		if !condT.Tainted() {
 			continue
 		}
-		for _, bi := range ctlRegion(f, b, pd[b.Index]) {
+		for _, bi := range analysis.CtlRegion(f, b, pd[b.Index]) {
 			ctl[bi] = join(ctl[bi], condT)
 		}
 	}

@@ -1,0 +1,457 @@
+package vrange
+
+// Abstract evaluation and demand-driven inversion of solver
+// expressions under the interval × congruence domain. The symbex
+// engine's constraints are expr trees over byte variables; reusing the
+// IR transfer functions on them lets the solver layer "range-tighten" a
+// query before searching: collect per-variable ranges from the atomic
+// constraints (pins and bound checks), abstractly evaluate compound
+// expressions under those ranges (EvalExpr), and — the constructive
+// direction — push a demanded output value backward through an
+// expression tree to concrete leaf assignments (SolveByRange). The NF
+// address computations are exactly the invertible shape: constant base
+// plus hash times constant stride, masked to a cache line, with the
+// hash a disjoint-mask concatenation of havoc bytes.
+
+import (
+	"castan/internal/expr"
+	"castan/internal/ir"
+)
+
+// ByteRange is the full domain of one solver variable (packet byte or
+// havoc output byte).
+func ByteRange() VRange { return Range(0, 255) }
+
+// binOpOf maps solver expression arithmetic onto the IR binop the
+// shared transfer functions are written against.
+func binOpOf(op expr.Op) (ir.BinOp, bool) {
+	switch op {
+	case expr.OpAdd:
+		return ir.Add, true
+	case expr.OpSub:
+		return ir.Sub, true
+	case expr.OpMul:
+		return ir.Mul, true
+	case expr.OpUDiv:
+		return ir.UDiv, true
+	case expr.OpURem:
+		return ir.URem, true
+	case expr.OpAnd:
+		return ir.And, true
+	case expr.OpOr:
+		return ir.Or, true
+	case expr.OpXor:
+		return ir.Xor, true
+	case expr.OpShl:
+		return ir.Shl, true
+	case expr.OpLshr:
+		return ir.Lshr, true
+	}
+	return 0, false
+}
+
+// predOf maps solver comparison nodes onto IR predicates.
+func predOf(op expr.Op) (ir.Pred, bool) {
+	switch op {
+	case expr.OpEq:
+		return ir.Eq, true
+	case expr.OpNe:
+		return ir.Ne, true
+	case expr.OpUlt:
+		return ir.Ult, true
+	case expr.OpUle:
+		return ir.Ule, true
+	}
+	return 0, false
+}
+
+// EvalExpr abstractly evaluates e under per-variable ranges supplied by
+// env (nil entries default to the byte domain). The result is an
+// over-approximation: every concrete valuation of the variables inside
+// their ranges evaluates e to a value inside the returned range.
+func EvalExpr(e *expr.Expr, env func(expr.VarID) VRange) VRange {
+	switch e.Op {
+	case expr.OpConst:
+		return Single(e.Val)
+	case expr.OpVar:
+		return env(e.Var)
+	case expr.OpIte:
+		c := EvalExpr(e.A, env)
+		if c.IsBot() {
+			return bot()
+		}
+		if c.NeverZero() {
+			return EvalExpr(e.B, env)
+		}
+		if c.AlwaysZero() {
+			return EvalExpr(e.C, env)
+		}
+		return join(EvalExpr(e.B, env), EvalExpr(e.C, env))
+	}
+	if p, ok := predOf(e.Op); ok {
+		return transferCmp(p, EvalExpr(e.A, env), EvalExpr(e.B, env))
+	}
+	if b, ok := binOpOf(e.Op); ok {
+		return transferBin(b, EvalExpr(e.A, env), EvalExpr(e.B, env))
+	}
+	return Full()
+}
+
+// atomRange pattern-matches one constraint (asserted true) against the
+// forms that directly bound a single variable: v == c, v < c, v <= c,
+// c < v, c <= v, v != c. ok=false means the constraint is not atomic.
+func atomRange(t *expr.Expr) (expr.VarID, VRange, bool) {
+	a, b := t.A, t.B
+	if a == nil || b == nil {
+		return 0, VRange{}, false
+	}
+	// Normalize const-on-the-left comparisons to var-on-the-left.
+	varLeft := a.Op == expr.OpVar && b.Op == expr.OpConst
+	varRight := b.Op == expr.OpVar && a.Op == expr.OpConst
+	if !varLeft && !varRight {
+		return 0, VRange{}, false
+	}
+	switch t.Op {
+	case expr.OpEq:
+		if varLeft {
+			return a.Var, Single(b.Val), true
+		}
+		return b.Var, Single(a.Val), true
+	case expr.OpNe:
+		if varLeft {
+			return a.Var, excludePoint(ByteRange(), b.Val), true
+		}
+		return b.Var, excludePoint(ByteRange(), a.Val), true
+	case expr.OpUlt:
+		if varLeft {
+			if b.Val == 0 {
+				return a.Var, bot(), true // v < 0 is unsatisfiable
+			}
+			return a.Var, Range(0, b.Val-1), true
+		}
+		if a.Val == ^uint64(0) {
+			return b.Var, bot(), true
+		}
+		return b.Var, VRange{Lo: a.Val + 1, Hi: ^uint64(0), Stride: 1}, true
+	case expr.OpUle:
+		if varLeft {
+			return a.Var, Range(0, b.Val), true
+		}
+		return b.Var, VRange{Lo: a.Val, Hi: ^uint64(0), Stride: 1}, true
+	}
+	return 0, VRange{}, false
+}
+
+// tightenRounds bounds constraint-to-range propagation; pins are direct
+// equalities, so one round collects them and a second lets derived
+// bounds interact. More rounds buy nothing on the observed workloads.
+const tightenRounds = 2
+
+// tightenEnv runs bounded atom-to-range propagation over the
+// constraint set and returns the per-variable environment. ok=false
+// means some variable's range emptied (the set is unsatisfiable).
+func tightenEnv(constraints []*expr.Expr) (map[expr.VarID]VRange, bool) {
+	env := map[expr.VarID]VRange{}
+	get := func(v expr.VarID) VRange {
+		if r, ok := env[v]; ok {
+			return r
+		}
+		return ByteRange()
+	}
+	for round := 0; round < tightenRounds; round++ {
+		changed := false
+		for _, c := range constraints {
+			t := expr.Truth(c)
+			v, r, ok := atomRange(t)
+			if !ok {
+				continue
+			}
+			nr := intersect(get(v), r)
+			if nr.IsBot() {
+				return nil, false
+			}
+			if nr != get(v) {
+				env[v] = nr
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return env, true
+}
+
+// rsolver carries the state of one demand-driven inversion attempt: a
+// partial assignment being built plus the atom-tightened ranges of the
+// still-free variables.
+type rsolver struct {
+	asg map[expr.VarID]uint64
+	env map[expr.VarID]VRange
+}
+
+func (s *rsolver) rng(v expr.VarID) VRange {
+	if val, ok := s.asg[v]; ok {
+		return Single(val)
+	}
+	if r, ok := s.env[v]; ok {
+		return r
+	}
+	return ByteRange()
+}
+
+func (s *rsolver) fwd(e *expr.Expr) VRange { return EvalExpr(e, s.rng) }
+
+// invert demands that e evaluate to exactly t and pushes that demand
+// down the tree, assigning leaf variables. It only handles the shapes
+// the NF address computations produce (constant-offset arithmetic,
+// masking, disjoint-mask concatenation, constant shifts); anything
+// else fails conservatively. All arithmetic inversions are exact mod
+// 2^64 or rejected; the caller re-verifies the final assignment by
+// concrete evaluation regardless.
+func (s *rsolver) invert(e *expr.Expr, t uint64) bool {
+	if e == nil {
+		return false
+	}
+	switch e.Op {
+	case expr.OpConst:
+		return e.Val == t
+	case expr.OpVar:
+		if val, ok := s.asg[e.Var]; ok {
+			return val == t
+		}
+		if !s.rng(e.Var).Contains(t) || t&^e.Mask() != 0 {
+			return false
+		}
+		s.asg[e.Var] = t
+		return true
+	}
+	a, b := e.A, e.B
+	if a == nil || b == nil {
+		return false
+	}
+	aConst := a.Op == expr.OpConst
+	bConst := b.Op == expr.OpConst
+	switch e.Op {
+	case expr.OpAdd: // a + c == t  <=>  a == t - c (mod 2^64)
+		if bConst {
+			return s.invert(a, t-b.Val)
+		}
+		if aConst {
+			return s.invert(b, t-a.Val)
+		}
+	case expr.OpSub:
+		if bConst { // a - c == t  <=>  a == t + c
+			return s.invert(a, t+b.Val)
+		}
+		if aConst { // c - b == t  <=>  b == c - t
+			return s.invert(b, a.Val-t)
+		}
+	case expr.OpMul:
+		c, x := a, b
+		if bConst {
+			c, x = b, a
+		} else if !aConst {
+			return false
+		}
+		if c.Val == 0 {
+			return t == 0
+		}
+		if t%c.Val != 0 {
+			return false // ignores wrap-around solutions: conservative
+		}
+		return s.invert(x, t/c.Val)
+	case expr.OpAnd:
+		c, x := a, b
+		if bConst {
+			c, x = b, a
+		} else if !aConst {
+			return false
+		}
+		if t&^c.Val != 0 {
+			return false
+		}
+		// x & mask == t: pick x = t (zeros the free bits).
+		return s.invert(x, t)
+	case expr.OpOr:
+		if aConst || bConst {
+			c, x := a, b
+			if bConst {
+				c, x = b, a
+			}
+			if c.Val&^t != 0 {
+				return false
+			}
+			// x | c == t: pick x = t &^ c (minimal).
+			return s.invert(x, t&^c.Val)
+		}
+		// Disjoint-mask concatenation (how hash words are assembled
+		// from shifted bytes): split the demand by operand mask.
+		ma, mb := a.Mask(), b.Mask()
+		if ma&mb != 0 || t&^(ma|mb) != 0 {
+			return false
+		}
+		return s.invert(a, t&ma) && s.invert(b, t&mb)
+	case expr.OpXor:
+		if bConst {
+			return s.invert(a, t^b.Val)
+		}
+		if aConst {
+			return s.invert(b, t^a.Val)
+		}
+	case expr.OpShl:
+		if bConst {
+			k := b.Val
+			if k >= 64 {
+				return t == 0
+			}
+			if t<<(64-k)>>(64-k) != 0 && k > 0 {
+				return false // demand has bits below the shift
+			}
+			return s.invert(a, t>>k)
+		}
+	case expr.OpLshr:
+		if bConst {
+			k := b.Val
+			if k >= 64 {
+				return t == 0
+			}
+			if k > 0 && t>>(64-k) != 0 {
+				return false // demand has bits a>>k cannot reach
+			}
+			return s.invert(a, t<<k) // low k bits chosen zero
+		}
+	}
+	return false
+}
+
+// constraint demands that the truth-folded constraint t hold and
+// dispatches on the top-level comparison: equalities invert directly;
+// inequalities concretize a target from the forward range intersected
+// with the demanded interval, then invert the equality.
+func (s *rsolver) constraint(t *expr.Expr) bool {
+	a, b := t.A, t.B
+	if a == nil || b == nil {
+		return false
+	}
+	aConst := a.Op == expr.OpConst
+	bConst := b.Op == expr.OpConst
+	pickInto := func(e *expr.Expr, want VRange) bool {
+		tgt := intersect(s.fwd(e), want)
+		if tgt.IsBot() {
+			return false
+		}
+		return s.invert(e, tgt.Lo)
+	}
+	switch t.Op {
+	case expr.OpEq:
+		if bConst {
+			return s.invert(a, b.Val)
+		}
+		if aConst {
+			return s.invert(b, a.Val)
+		}
+	case expr.OpNe:
+		c, x := a, b
+		if bConst {
+			c, x = b, a
+		} else if !aConst {
+			return false
+		}
+		f := s.fwd(x)
+		if f.IsBot() {
+			return false
+		}
+		for _, cand := range [2]uint64{f.Lo, f.Hi} {
+			if cand != c.Val {
+				return s.invert(x, cand)
+			}
+		}
+		return false
+	case expr.OpUlt:
+		if bConst {
+			if b.Val == 0 {
+				return false
+			}
+			return pickInto(a, Range(0, b.Val-1))
+		}
+		if aConst {
+			if a.Val == ^uint64(0) {
+				return false
+			}
+			return pickInto(b, VRange{Lo: a.Val + 1, Hi: ^uint64(0), Stride: 1})
+		}
+	case expr.OpUle:
+		if bConst {
+			return pickInto(a, Range(0, b.Val))
+		}
+		if aConst {
+			return pickInto(b, VRange{Lo: a.Val, Hi: ^uint64(0), Stride: 1})
+		}
+	}
+	return false
+}
+
+// SolveByRange attempts to construct a model for the constraint set by
+// demand-driven inversion over the range domain: atomic pins tighten
+// per-variable ranges, each remaining constraint's demanded value is
+// pushed backward through the expression tree to the leaf variables,
+// and unconstrained variables take their range minimum. The returned
+// model is verified by concrete evaluation before being reported, so a
+// true return is a proof of satisfiability; false means nothing was
+// decided (the construction is deliberately partial). The construction
+// is deterministic: every choice point picks the canonical minimum.
+func SolveByRange(constraints []*expr.Expr) (map[expr.VarID]uint64, bool) {
+	env, ok := tightenEnv(constraints)
+	if !ok {
+		return nil, false
+	}
+	s := &rsolver{asg: map[expr.VarID]uint64{}, env: env}
+	var rest []*expr.Expr
+	for _, c := range constraints {
+		t := expr.Truth(c)
+		if bv, ok := t.IsBool(); ok {
+			if !bv {
+				return nil, false
+			}
+			continue // constant-true: nothing to solve
+		}
+		if v, r, ok := atomRange(t); ok {
+			nr := intersect(s.rng(v), r)
+			if nr.IsBot() {
+				return nil, false
+			}
+			if val, one := nr.IsSingleton(); one {
+				s.asg[v] = val
+			} else {
+				s.env[v] = nr
+			}
+			continue
+		}
+		rest = append(rest, t)
+	}
+	for _, t := range rest {
+		if !s.constraint(t) {
+			return nil, false
+		}
+	}
+	m := map[expr.VarID]uint64{}
+	for _, c := range constraints {
+		for _, v := range c.VarList() {
+			if _, ok := m[v]; ok {
+				continue
+			}
+			if val, ok := s.asg[v]; ok {
+				m[v] = val
+			} else {
+				m[v] = s.rng(v).Lo
+			}
+		}
+	}
+	for _, c := range constraints {
+		if c.Eval(m) == 0 {
+			return nil, false
+		}
+	}
+	return m, true
+}

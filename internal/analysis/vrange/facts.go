@@ -1,0 +1,139 @@
+package vrange
+
+import (
+	"fmt"
+
+	"castan/internal/analysis"
+	"castan/internal/ir"
+)
+
+// Of returns the joined fact for a value-defining instruction, or false
+// when the instruction was never reached (or defines nothing).
+func (a *Analysis) Of(in *ir.Instr) (VRange, bool) {
+	r, ok := a.instr[in]
+	if !ok || r.IsBot() {
+		return VRange{}, false
+	}
+	return r, true
+}
+
+// BranchDecided reports whether the analysis statically decides an
+// OpCondBr: takeTrue is the side every execution takes. Branches the
+// fixpoint never reached (bottom condition) are not decided — symbex
+// must not act on vacuous facts.
+func (a *Analysis) BranchDecided(in *ir.Instr) (takeTrue bool, ok bool) {
+	c, found := a.condRng[in]
+	if !found || c.IsBot() {
+		return false, false
+	}
+	if c.NeverZero() {
+		return true, true
+	}
+	if c.AlwaysZero() {
+		return false, true
+	}
+	return false, false
+}
+
+// Summary aggregates the analysis outcome for reports and telemetry.
+type Summary struct {
+	Funcs             int  `json:"funcs"`
+	Rounds            int  `json:"rounds"`
+	Capped            bool `json:"capped"`
+	Facts             int  `json:"facts"`
+	Singletons        int  `json:"singletons"`
+	DecidedBranches   int  `json:"decided_branches"`
+	DeadEdges         int  `json:"dead_edges"`
+	UnreachableBlocks int  `json:"unreachable_blocks"`
+}
+
+// Stats summarizes the run.
+func (a *Analysis) Stats() Summary {
+	s := Summary{Funcs: len(a.order), Rounds: a.Rounds, Capped: a.Capped}
+	for _, r := range a.instr {
+		if r.IsBot() {
+			continue
+		}
+		s.Facts++
+		if _, ok := r.IsSingleton(); ok {
+			s.Singletons++
+		}
+	}
+	for in := range a.condRng {
+		if _, ok := a.BranchDecided(in); ok {
+			s.DecidedBranches++
+			s.DeadEdges++
+		}
+	}
+	for _, f := range a.order {
+		reached := a.reached[f]
+		for _, b := range f.Blocks {
+			if !reached[b.Index] {
+				s.UnreachableBlocks++
+			}
+		}
+	}
+	return s
+}
+
+// Findings reports statically-dead branch edges and unreachable blocks
+// with source coordinates, in deterministic (caller-first, block-index)
+// order. Severity is informational: a dead edge is a precision win for
+// the engine, not a module defect.
+func (a *Analysis) Findings() []analysis.Finding {
+	var out []analysis.Finding
+	for _, f := range a.order {
+		reached := a.reached[f]
+		for _, b := range f.Blocks {
+			if !reached[b.Index] {
+				out = append(out, analysis.Finding{
+					Pass:     "vrange",
+					Sev:      analysis.SevInfo,
+					Fn:       f,
+					Block:    b,
+					InstrIdx: -1,
+					Msg:      "block unreachable: no feasible in-edge under value-range analysis",
+				})
+				continue
+			}
+			for idx, in := range b.Instrs {
+				if in.Op != ir.OpCondBr {
+					continue
+				}
+				take, ok := a.BranchDecided(in)
+				if !ok {
+					continue
+				}
+				dead, live := in.Blk1, in.Blk0
+				if !take {
+					dead, live = in.Blk0, in.Blk1
+				}
+				out = append(out, analysis.Finding{
+					Pass:     "vrange",
+					Sev:      analysis.SevInfo,
+					Fn:       f,
+					Block:    b,
+					InstrIdx: idx,
+					Msg: fmt.Sprintf("branch statically decided: edge to %s is dead, always falls to %s (cond %s)",
+						dead.Name, live.Name, a.condRng[in]),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// String renders a fact compactly: "=k" for constants, "[lo,hi]" plain
+// intervals, "[lo,hi]≡r(mod s)" with congruence.
+func (r VRange) String() string {
+	if r.IsBot() {
+		return "⊥"
+	}
+	if v, ok := r.IsSingleton(); ok {
+		return fmt.Sprintf("=%#x", v)
+	}
+	if r.Stride > 1 {
+		return fmt.Sprintf("[%#x,%#x]≡%d(mod %d)", r.Lo, r.Hi, r.Rem, r.Stride)
+	}
+	return fmt.Sprintf("[%#x,%#x]", r.Lo, r.Hi)
+}

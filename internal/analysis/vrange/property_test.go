@@ -1,0 +1,228 @@
+package vrange
+
+import (
+	"math/rand"
+	"testing"
+
+	"castan/internal/analysis"
+	"castan/internal/interp"
+	"castan/internal/ir"
+)
+
+// genModule builds a random small NF-shaped module exercising every
+// transfer function the range analysis implements: constant and
+// packet-dependent arithmetic across all binops, masked indexing,
+// counted loops (widening), packet-data branches (refinement), helper
+// calls (summaries), heap allocs, hash havocs, and selects. Every loop
+// is counted, so concrete execution always terminates.
+func genModule(r *rand.Rand) *ir.Module {
+	m := ir.NewModule("vrangeprop")
+	nglob := 1 + r.Intn(3)
+	globals := make([]*ir.Global, nglob)
+	for i := range globals {
+		size := uint64(64 * (1 + r.Intn(8))) // 64..512 bytes
+		globals[i] = m.AddGlobal(string(rune('a'+i)), size, 64)
+	}
+	hid := m.AddHash("h", 16, func(b []byte) uint64 {
+		var s uint64 = 14695981039346656037
+		for _, c := range b {
+			s = (s ^ uint64(c)) * 1099511628211
+		}
+		return s
+	})
+	m.Layout()
+
+	// Helper reached with several argument ranges; the analysis must
+	// join its summary over every call site.
+	hb := m.NewFunc("mix", 1)
+	hp := hb.Param(0)
+	hacc := hb.Var(hb.AddImm(hb.MulImm(hp, 2654435761), 17))
+	hb.If(hb.CmpUlt(hb.AndImm(hacc.R(), 0xff), hb.Const(128)), func() {
+		hacc.Set(hb.Xor(hacc.R(), hb.Const(0x5bd1e995)))
+	}, nil)
+	hb.Ret(hacc.R())
+	helper := hb.Seal()
+
+	fb := m.NewFunc("nf_process", 2)
+	pkt := fb.Param(0)
+	acc := fb.Var(fb.Load(pkt, uint64(r.Intn(40)), 2))
+	kc := fb.VarImm(uint64(r.Intn(1 << 20)))
+
+	var stmt func(depth int)
+	stmt = func(depth int) {
+		g := globals[r.Intn(nglob)]
+		base := fb.GlobalAddr(g)
+		switch r.Intn(13) {
+		case 0: // constant-address global load
+			off := uint64(r.Intn(int(g.Size-8))) &^ 7
+			acc.Set(fb.Add(acc.R(), fb.Load(base, off, 8)))
+		case 1: // global store (memory untracked; loads stay width-ranged)
+			off := uint64(r.Intn(int(g.Size-8))) &^ 7
+			fb.Store(base, off, acc.R(), 8)
+		case 2: // packet byte load
+			acc.Set(fb.Add(acc.R(), fb.Load(pkt, uint64(r.Intn(40)), 1)))
+		case 3: // interval-address load: masked index (And-stride fact)
+			mask := (g.Size - 1) &^ 7
+			idx := fb.AndImm(acc.R(), mask)
+			acc.Set(fb.Add(acc.R(), fb.Load(fb.Add(base, idx), 0, 8)))
+		case 4: // counted loop: widening must still contain every iterate
+			if depth >= 2 {
+				return
+			}
+			trip := uint64(2 + r.Intn(3))
+			i := fb.VarImm(0)
+			fb.While(func() ir.Reg { return fb.CmpUlt(i.R(), fb.Const(trip)) }, func() {
+				stmt(depth + 1)
+				i.Set(fb.AddImm(i.R(), 1))
+			})
+		case 5: // branch on packet-derived data: refinement on both edges
+			if depth >= 3 {
+				return
+			}
+			cond := fb.CmpUlt(fb.AndImm(acc.R(), 0xff), fb.Const(uint64(r.Intn(256))))
+			fb.If(cond, func() { stmt(depth + 1) }, func() { stmt(depth + 1) })
+		case 6: // branch on a constant-evolving value: may be decided
+			if depth >= 3 {
+				return
+			}
+			cond := fb.CmpUlt(fb.AndImm(kc.R(), 0xff), fb.Const(uint64(r.Intn(256))))
+			fb.If(cond, func() { stmt(depth + 1) }, nil)
+		case 7: // havoc: result bounded by the hash width
+			acc.Set(fb.Add(acc.R(), fb.Havoc(hid, base, 8)))
+		case 8: // helper call joins ranges across sites
+			if r.Intn(2) == 0 {
+				acc.Set(fb.Call(helper, acc.R()))
+			} else {
+				kc.Set(fb.Call(helper, kc.R()))
+			}
+		case 9: // heap alloc, store, load back
+			buf := fb.AllocImm(uint64(64 * (1 + r.Intn(2))))
+			fb.Store(buf, 0, acc.R(), 8)
+			acc.Set(fb.Add(acc.R(), fb.Load(buf, 0, 8)))
+		case 10: // select between constants
+			c := fb.CmpEqImm(fb.AndImm(acc.R(), 1), 0)
+			acc.Set(fb.Add(acc.R(), fb.Select(c, fb.Const(3), fb.Const(9))))
+		case 11: // constant arithmetic chain (mul/add congruences)
+			kc.Set(fb.AddImm(fb.MulImm(kc.R(), 1099511628211), uint64(r.Intn(1024))))
+		case 12: // shifts and xor mixing
+			acc.Set(fb.Xor(fb.MulImm(acc.R(), uint64(1+r.Intn(65536))), kc.R()))
+		}
+	}
+	n := 4 + r.Intn(8)
+	for s := 0; s < n; s++ {
+		stmt(0)
+	}
+	fb.Ret(fb.Xor(acc.R(), kc.R()))
+	fb.Seal()
+	return m
+}
+
+// runStreams executes nf_process over the frames and records, per
+// instruction, every value it defined.
+func runStreams(t *testing.T, m *ir.Module, frames [][]byte) map[*ir.Instr][]uint64 {
+	t.Helper()
+	mach := interp.NewMachine(m)
+	streams := make(map[*ir.Instr][]uint64)
+	mach.Hooks.OnDef = func(_ *ir.Func, in *ir.Instr, val uint64) {
+		streams[in] = append(streams[in], val)
+	}
+	for i, f := range frames {
+		mach.Mem.WriteBytes(ir.PacketBase, f)
+		if _, err := mach.Call("nf_process", ir.PacketBase, uint64(len(f))); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+	}
+	return streams
+}
+
+// TestSoundnessRandomModules is the soundness gate for the range
+// analysis: across random modules, the claimed range of every
+// instruction must contain every value concrete execution actually
+// produced for it — interval and congruence both. An instruction that
+// executed but carries a bottom fact is equally a soundness violation
+// (the fixpoint claimed it unreachable).
+func TestSoundnessRandomModules(t *testing.T) {
+	iters := 60
+	if testing.Short() {
+		iters = 12
+	}
+	factsChecked, singletons := 0, 0
+	for seed := 0; seed < iters; seed++ {
+		r := rand.New(rand.NewSource(int64(seed)))
+		m := genModule(r)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("seed %d: validate: %v", seed, err)
+		}
+		mf := analysis.ForModule(m)
+		a := Run(mf, Config{EntryHints: NFEntryRanges()})
+		if a.Capped {
+			t.Fatalf("seed %d: analysis degraded to top (rounds=%d)", seed, a.Rounds)
+		}
+
+		nframes := 3 + r.Intn(4)
+		frames := make([][]byte, nframes)
+		rr := rand.New(rand.NewSource(int64(seed)*7919 + 1))
+		for i := range frames {
+			f := make([]byte, 42)
+			rr.Read(f)
+			frames[i] = f
+		}
+		streams := runStreams(t, m, frames)
+
+		for in, vals := range streams {
+			rng, ok := a.Of(in)
+			if !ok {
+				t.Fatalf("seed %d: %s executed %d times but has no range fact",
+					seed, in.Disassemble(), len(vals))
+			}
+			factsChecked++
+			if _, s := rng.IsSingleton(); s {
+				singletons++
+			}
+			for i, v := range vals {
+				if !rng.Contains(v) {
+					t.Fatalf("seed %d: %s value %#x (step %d) outside claimed range %s",
+						seed, in.Disassemble(), v, i, rng)
+				}
+			}
+		}
+
+		// Decided branches must agree with the concrete edge taken.
+		for _, f := range m.Funcs {
+			for _, b := range f.Blocks {
+				for _, in := range b.Instrs {
+					if in.Op != ir.OpCondBr {
+						continue
+					}
+					take, ok := a.BranchDecided(in)
+					if !ok {
+						continue
+					}
+					for i, c := range streams[condDef(b, in)] {
+						if (c != 0) != take {
+							t.Fatalf("seed %d: decided branch %s said take=%v but cond was %#x at step %d",
+								seed, in.Disassemble(), take, c, i)
+						}
+					}
+				}
+			}
+		}
+	}
+	if factsChecked == 0 {
+		t.Error("no executed instructions carried range facts; property test is vacuous")
+	}
+	if singletons == 0 {
+		t.Error("no singleton facts across all random modules; precision test is vacuous")
+	}
+}
+
+// condDef finds the in-block def of a terminator's condition register,
+// so the branch-decision check can read the concrete condition stream.
+func condDef(b *ir.Block, term *ir.Instr) *ir.Instr {
+	for i := len(b.Instrs) - 1; i >= 0; i-- {
+		if in := b.Instrs[i]; in != term && in.Def() == term.A {
+			return in
+		}
+	}
+	return nil
+}

@@ -23,6 +23,7 @@ import (
 	"castan/internal/analysis"
 	"castan/internal/analysis/cachecost"
 	"castan/internal/analysis/taint"
+	"castan/internal/analysis/vrange"
 	"castan/internal/budget"
 	"castan/internal/cachemodel"
 	"castan/internal/expr"
@@ -72,6 +73,11 @@ type Config struct {
 	// worst-case bound, no static priority component in the searcher, and
 	// no memsim cross-check of the synthesized workload (ablation).
 	NoStaticCost bool
+	// NoVRange disables the value-range abstract interpretation and
+	// everything it feeds: no statically-decided branch pruning in the
+	// searcher, no normalized-constraint solver memo, and no merge-point
+	// state deduplication (ablation).
+	NoVRange bool
 	// RainbowCoverage multiplies the default table size. Default 8.
 	RainbowCoverage int
 	// MaxLoopIters caps symbolic loop unrolling per state.
@@ -187,6 +193,22 @@ type TaintSummary struct {
 	FoldableHashSites int `json:"foldable_hash_sites"`
 }
 
+// VRangeSummary is the value-range abstract interpretation's outcome on
+// the NF module: how many facts it proved (and how many pin a value to a
+// constant), how many branches it statically decided, and the dead
+// edges / unreachable blocks those decisions imply. Zero-valued when the
+// analysis is disabled (Config.NoVRange).
+type VRangeSummary struct {
+	Funcs             int  `json:"funcs"`
+	Rounds            int  `json:"rounds"`
+	Capped            bool `json:"capped"`
+	Facts             int  `json:"facts"`
+	Singletons        int  `json:"singletons"`
+	DecidedBranches   int  `json:"decided_branches"`
+	DeadEdges         int  `json:"dead_edges"`
+	UnreachableBlocks int  `json:"unreachable_blocks"`
+}
+
 // Output is a completed analysis.
 type Output struct {
 	NF     string
@@ -208,6 +230,8 @@ type Output struct {
 	StaticHavocSites int
 	// Taint summarizes the input-taint dataflow analysis of the module.
 	Taint TaintSummary
+	// VRange summarizes the value-range abstract interpretation.
+	VRange VRangeSummary
 	// ContentionSetsFound is the discovery result size (0 = no model).
 	ContentionSetsFound int
 	// StaticCostBound is the abstract cache analysis's worst-case cycle
@@ -293,6 +317,21 @@ func Analyze(inst *nf.Instance, hier *memsim.Hierarchy, cfg Config) (*Output, er
 	// adversary can actually influence (unreached sites conservatively
 	// count as influenced).
 	ta := taint.Run(mf, mr, taint.Config{EntryHints: taint.NFEntryTaints()})
+	// Value-range abstract interpretation over the same facts: proves
+	// per-value intervals and congruences the engine uses to take
+	// statically-decided branches concretely, to deduplicate states at
+	// merge points, and (through the solver memo below) to canonicalize
+	// away repeated infeasibility queries.
+	var vr *vrange.Analysis
+	var memo *solver.Memo
+	if !cfg.NoVRange {
+		vr = vrange.Run(mf, vrange.Config{EntryHints: vrange.NFEntryRanges()})
+		// The memo participates only in queries that mention havoc-range
+		// variables (IDs past all packet bytes): hash-probe infeasibility
+		// is where sibling states repeat each other, while packet-byte
+		// query streams stay byte-for-byte untouched.
+		memo = solver.NewMemo(expr.VarID(cfg.NPackets*nf.SymbolicPacketLen), rec)
+	}
 	staticHashIDs := map[int]bool{}
 	for _, s := range ta.HashSites() {
 		if !s.Foldable {
@@ -406,6 +445,8 @@ func Analyze(inst *nf.Instance, hier *memsim.Hierarchy, cfg Config) (*Output, er
 		Budget:      cfg.Budget,
 		SolverFault: solverFault,
 		Taint:       ta,
+		VRange:      vr,
+		Memo:        memo,
 	}
 	rec.StageBegin("castan.symbex")
 	spSymbex := root.Child("castan.symbex")
@@ -436,6 +477,19 @@ func Analyze(inst *nf.Instance, hier *memsim.Hierarchy, cfg Config) (*Output, er
 			TaintedOpaque:     st.Opaque,
 			HashSites:         st.HashSites,
 			FoldableHashSites: st.FoldableHashSites,
+		}
+		if vr != nil {
+			vs := vr.Stats()
+			out.VRange = VRangeSummary{
+				Funcs:             vs.Funcs,
+				Rounds:            vs.Rounds,
+				Capped:            vs.Capped,
+				Facts:             vs.Facts,
+				Singletons:        vs.Singletons,
+				DecidedBranches:   vs.DecidedBranches,
+				DeadEdges:         vs.DeadEdges,
+				UnreachableBlocks: vs.UnreachableBlocks,
+			}
 		}
 		if cc != nil {
 			if b, ok := cc.WorkloadBound("nf_process", cfg.NPackets); ok {
@@ -773,9 +827,15 @@ func concretize(inst *nf.Instance, eng *symbex.Engine, st *symbex.State, cfg Con
 	// hint for all reconciliation checks. The solver runs on the pipeline
 	// goroutine, so instrumenting it keeps the recorded totals
 	// deterministic.
+	// The engine's memo carries over: Unsat verdicts learned during the
+	// search answer reconciliation's re-derived infeasibilities too. The
+	// speculative worker solvers below stay memo-free for the same reason
+	// they stay uninstrumented — shared mutable state across workers
+	// would make effort (and map growth) worker-count-dependent.
 	sol := solver.Solver{
 		Hint: st.Model(), MaxSteps: 30000, Obs: cfg.Obs,
 		Budget: cfg.Budget.Stage(budget.StageSolver), ForceUnknown: solverFault,
+		Memo: eng.Memo,
 	}
 	cons := append([]*expr.Expr(nil), st.Constraints()...)
 	mdl, err := sol.Solve(cons)

@@ -30,6 +30,9 @@ type Report struct {
 	// Taint summarizes the input-taint dataflow analysis (instruction
 	// classification and hash-site key controllability).
 	Taint TaintSummary `json:"taint"`
+	// VRange summarizes the value-range abstract interpretation (zeros
+	// when the pass was disabled with -no-vrange).
+	VRange VRangeSummary `json:"vrange"`
 	// StaticCostBound is the abstract cache analysis's worst-case cycle
 	// bound for the whole workload, printed next to measured cycles
 	// (0 = analysis disabled or no static bound).
@@ -73,6 +76,7 @@ func (o *Output) Report() *Report {
 		HavocsReconciled:    o.HavocsReconciled,
 		ContentionSetsFound: o.ContentionSetsFound,
 		Taint:               o.Taint,
+		VRange:              o.VRange,
 		StaticCostBound:     o.StaticCostBound,
 		StepsToWorstPath:    o.StepsToWorstPath,
 		StatesExplored:      o.StatesExplored,

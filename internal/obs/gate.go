@@ -24,6 +24,9 @@ var GateCounters = []string{
 	"castan.store.hits",
 	"symbex.folded_instructions",
 	"solver.queries_avoided",
+	"symbex.pruned_edges",
+	"solver.memo_hits",
+	"solver.memo_misses",
 }
 
 // GateCounter reports whether name is one of the perf gate's columns.

@@ -130,6 +130,14 @@ type Solver struct {
 	// query is abandoned as Unknown before any search. Production code
 	// leaves it nil; internal/faultinject supplies seeded hooks.
 	ForceUnknown func() bool
+	// Memo, when set, answers qualifying queries without search: cached
+	// Unsat verdicts under normalized constraint keys, and verified
+	// models constructed by the value-range probe (see memo.go). A memo
+	// hit bypasses the per-query telemetry — only the memo's own hit
+	// counter moves — so discharged queries vanish from solver.queries
+	// exactly as if the caller had never asked. Shared, like Hint,
+	// across the solvers one engine constructs; never across workers.
+	Memo *Memo
 }
 
 // DefaultMaxSteps is the default search budget.
@@ -143,19 +151,34 @@ func (s *Solver) Check(constraints []*expr.Expr) (Result, Model) {
 	if s.Obs != nil {
 		start = s.Obs.NowNanos()
 	}
-	res, m, p := s.check(constraints)
-	if s.Obs != nil {
+	res, m, p, memoHit := s.check(constraints)
+	if s.Obs != nil && !memoHit {
 		s.record(res, p, s.Obs.NowNanos()-start)
 	}
 	return res, m
 }
 
-func (s *Solver) check(constraints []*expr.Expr) (Result, Model, *problem) {
+func (s *Solver) check(constraints []*expr.Expr) (Result, Model, *problem, bool) {
 	if s.ForceUnknown != nil && s.ForceUnknown() {
-		return Unknown, nil, nil
+		return Unknown, nil, nil, false
 	}
 	if _, exhausted := s.Budget.Exhausted(); exhausted {
-		return Unknown, nil, nil
+		return Unknown, nil, nil, false
+	}
+	// Memo lookup sits after the fault and budget guards so injected
+	// faults and exhausted budgets keep their exact semantics, and
+	// before problem construction so a hit costs no search steps.
+	var memoKey string
+	if s.Memo != nil {
+		if key, res, model, ok := s.Memo.lookup(constraints); ok {
+			switch res {
+			case Unsat:
+				return Unsat, nil, nil, true
+			case Sat:
+				return Sat, model, nil, true
+			}
+			memoKey = key
+		}
 	}
 	p, res := newProblem(constraints)
 	defer func() {
@@ -164,7 +187,10 @@ func (s *Solver) check(constraints []*expr.Expr) (Result, Model, *problem) {
 		}
 	}()
 	if res != Unknown {
-		return res, modelIfSat(res, p), p
+		if res == Unsat && memoKey != "" {
+			s.Memo.store(memoKey)
+		}
+		return res, modelIfSat(res, p), p, false
 	}
 	budget := s.MaxSteps
 	if budget <= 0 {
@@ -174,11 +200,14 @@ func (s *Solver) check(constraints []*expr.Expr) (Result, Model, *problem) {
 	p.hint = s.Hint
 	switch p.search() {
 	case searchSat:
-		return Sat, p.model(), p
+		return Sat, p.model(), p, false
 	case searchUnsat:
-		return Unsat, nil, p
+		if memoKey != "" {
+			s.Memo.store(memoKey)
+		}
+		return Unsat, nil, p, false
 	default:
-		return Unknown, nil, p
+		return Unknown, nil, p, false
 	}
 }
 

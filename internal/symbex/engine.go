@@ -6,6 +6,7 @@ import (
 
 	"castan/internal/analysis/cachecost"
 	"castan/internal/analysis/taint"
+	"castan/internal/analysis/vrange"
 	"castan/internal/budget"
 	"castan/internal/cachemodel"
 	"castan/internal/expr"
@@ -142,6 +143,24 @@ type Engine struct {
 	// effort, never coverage.
 	Taint *taint.Analysis
 
+	// VRange, when non-nil, enables value-range-directed shortcuts: a
+	// conditional branch the analysis statically decides is taken
+	// concretely — no fork, no feasibility query, no constraint — and
+	// states popped at merge points are deduplicated against
+	// already-pursued equal-configuration states (merge.go). Decided
+	// conditions are tautologies over the packet/havoc variable domains
+	// (vrange's entry facts cover every assignment the solver can
+	// produce), so skipping the constraint never excludes a model.
+	VRange *vrange.Analysis
+
+	// Memo, when non-nil, is shared by every solver the engine
+	// constructs (newSolver) so Unsat verdicts learned by one state's
+	// query answer its siblings' renamed duplicates, and directly
+	// invertible queries are discharged by the value-range model probe.
+	// The caller also shares it with any post-search concretization
+	// solvers.
+	Memo *solver.Memo
+
 	sol      solver.Solver
 	nextID   int
 	forks    int
@@ -149,6 +168,10 @@ type Engine struct {
 	hStatic  *obs.Histogram
 	cFolded  *obs.Counter
 	cAvoided *obs.Counter
+	cPruned  *obs.Counter
+
+	merged      map[string]uint64 // merge-point key -> best pursued cost
+	mergeBlocks map[*ir.Func]map[*ir.Block]bool
 }
 
 // Result is the outcome of an exploration.
@@ -216,6 +239,7 @@ func (e *Engine) newSolver(maxSteps int) solver.Solver {
 		Obs:          e.Obs,
 		Budget:       e.Budget.Stage(budget.StageSolver),
 		ForceUnknown: e.SolverFault,
+		Memo:         e.Memo,
 	}
 }
 
@@ -260,6 +284,8 @@ func (e *Engine) Run() (*Result, error) {
 	e.hStatic = e.Obs.Histogram("symbex.static_potential", obs.ExpBuckets(8, 16)...)
 	e.cFolded = e.Obs.Counter("symbex.folded_instructions")
 	e.cAvoided = e.Obs.Counter("solver.queries_avoided")
+	e.cPruned = e.Obs.Counter("symbex.pruned_edges")
+	cMerged := e.Obs.Counter("symbex.merged_states")
 
 	var completed []*State
 	done := 0
@@ -288,6 +314,16 @@ func (e *Engine) Run() (*Result, error) {
 		}
 		if e.Trace != nil {
 			e.Trace("pop", s)
+		}
+		// Merge-point dedup: a popped state whose full configuration
+		// was already pursued at equal or higher cost is a duplicate —
+		// drop it instead of re-exploring its future.
+		if e.VRange != nil && e.tryMerge(s) {
+			cMerged.Inc()
+			if e.Trace != nil {
+				e.Trace("merge", s)
+			}
+			continue
 		}
 		// Local pursuit: keep stepping this state while it still outranks
 		// everything pending. A loose (optimistic) heuristic would
@@ -532,6 +568,23 @@ func (e *Engine) step(s *State, entry *ir.Func) []*State {
 					e.jump(s, f, in.Blk1)
 				}
 				continue
+			}
+			// Value-range pruning: a branch the static analysis decides
+			// is taken concretely — the infeasible side is never forked
+			// or queried, and no constraint is recorded, because the
+			// decided condition holds for every assignment of the
+			// symbolic variables (their domains are exactly the packet
+			// and hash-width ranges vrange started from).
+			if e.VRange != nil {
+				if take, ok := e.VRange.BranchDecided(in); ok {
+					e.cPruned.Inc()
+					if take {
+						e.jump(s, f, in.Blk0)
+					} else {
+						e.jump(s, f, in.Blk1)
+					}
+					continue
+				}
 			}
 			forked := e.fork(s, f, in, cond)
 			if forked != nil {

@@ -1,0 +1,162 @@
+package symbex
+
+import (
+	"sort"
+	"strconv"
+
+	"castan/internal/analysis"
+	"castan/internal/expr"
+	"castan/internal/ir"
+)
+
+// State merging (§3.3 adjacent): the ring NFs fork sibling states that
+// probe alternative table slots and then reconverge — same program
+// point, same store, same path-constraint set after canonicalization —
+// differing only in accumulated cost. Re-exploring each sibling repeats
+// identical work. At the two KLEE-style merge point families — packet
+// boundaries (the virtual-exit postdominator) and the immediate
+// postdominators of two-successor blocks (analysis.MergeBlocks) — the
+// engine keys popped states by their full machine configuration and
+// drops a state when an equal-keyed one with at least its cost was
+// already pursued.
+//
+// The key deliberately covers everything that determines the state's
+// future semantics — frame stack (function, block, pc, registers),
+// memory overlay, heap cursor, havoc history, loop depth, and the
+// constraint set (order-insensitive) — so a dropped state is a true
+// duplicate of the kept one up to solver-model choice and cache-tracker
+// history. Those two are not keyed: the kept representative is a real,
+// self-consistent execution whose report is valid on its own; dropping
+// its twin trades redundant exploration for time, which is exactly the
+// contract of a best-first search already truncated by MaxStates and
+// budgets (see DESIGN.md decision 14 for the honest scope of this
+// argument).
+const mergeMaxOverlay = 4096
+
+// mergeCandidate reports whether s sits at a merge point: suspended at
+// a packet boundary (top of the entry function, pc 0 — where
+// finishPacket re-ranks states) or at the start of a postdominator
+// join block.
+func (e *Engine) mergeCandidate(s *State) bool {
+	if s.Done || s.trapped != nil || len(s.frames) == 0 {
+		return false
+	}
+	f := s.top()
+	if f.pc != 0 {
+		return false
+	}
+	if len(s.frames) == 1 && f.blk == f.fn.Entry() {
+		return true
+	}
+	mb := e.mergeBlocks[f.fn]
+	if mb == nil {
+		if e.mergeBlocks == nil {
+			e.mergeBlocks = map[*ir.Func]map[*ir.Block]bool{}
+		}
+		mb = analysis.MergeBlocks(f.fn)
+		e.mergeBlocks[f.fn] = mb
+	}
+	return mb[f.blk]
+}
+
+// mergeKey canonicalizes the state's machine configuration. ok=false
+// means the state is too large to key cheaply and is never merged.
+func (e *Engine) mergeKey(s *State) (string, bool) {
+	if len(s.mem.overlay) > mergeMaxOverlay {
+		return "", false
+	}
+	b := make([]byte, 0, 512)
+	app := func(v uint64) {
+		b = strconv.AppendUint(b, v, 16)
+		b = append(b, ',')
+	}
+	app(uint64(s.PacketsDone))
+	app(uint64(s.LoopDepth))
+	app(s.heapTop)
+	app(uint64(s.nextHavocVar))
+	for _, f := range s.frames {
+		b = append(b, f.fn.Name...)
+		b = append(b, ':')
+		app(uint64(f.blk.Index))
+		app(uint64(f.pc))
+		app(uint64(int64(f.retDst)))
+		for _, r := range f.regs {
+			app(exprKey(r))
+		}
+	}
+	b = append(b, 'M')
+	addrs := make([]uint64, 0, len(s.mem.overlay))
+	for a := range s.mem.overlay {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		app(a)
+		app(exprKey(s.mem.overlay[a]))
+	}
+	b = append(b, 'H')
+	for i := range s.Havocs {
+		h := &s.Havocs[i]
+		app(uint64(h.HashID))
+		app(uint64(h.Packet))
+		app(h.KeyAddr)
+		app(uint64(h.KeyLen))
+		for _, k := range h.Key {
+			app(exprKey(k))
+		}
+		for _, v := range h.OutVars {
+			app(uint64(v))
+		}
+		app(exprKey(h.Out))
+	}
+	b = append(b, 'C')
+	cons := make([]uint64, 0, len(s.constraints))
+	for _, c := range s.constraints {
+		cons = append(cons, c.Fingerprint())
+	}
+	// The constraint set is a conjunction: order-insensitive.
+	sort.Slice(cons, func(i, j int) bool { return cons[i] < cons[j] })
+	for _, fp := range cons {
+		app(fp)
+	}
+	return string(b), true
+}
+
+// exprKey fingerprints one expression for the merge key, folding
+// range-concretizable expressions to their constant first so siblings
+// whose stores differ only in how a provably-constant value was built
+// still collide.
+func exprKey(e *expr.Expr) uint64 {
+	if e == nil {
+		return 0
+	}
+	if v, ok := e.IsConst(); ok {
+		return v ^ 0xc0ffee_0000_0000 // tag constants apart from fingerprints
+	}
+	if iv := expr.Range(e, nil); iv.Lo == iv.Hi {
+		return iv.Lo ^ 0xc0ffee_0000_0000
+	}
+	return e.Fingerprint()
+}
+
+// tryMerge checks a freshly popped state against the merge table:
+// true means s duplicates an already-pursued state of at least equal
+// cost and must be dropped. Otherwise s (now the best-known
+// representative of its key) is recorded and pursued.
+func (e *Engine) tryMerge(s *State) bool {
+	if !e.mergeCandidate(s) {
+		return false
+	}
+	key, ok := e.mergeKey(s)
+	if !ok {
+		return false
+	}
+	if prev, seen := e.merged[key]; seen && prev >= s.CurCost {
+		return true
+	}
+	if e.merged == nil {
+		e.merged = map[string]uint64{}
+	}
+	e.merged[key] = s.CurCost
+	return false
+}
