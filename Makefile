@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-metrics bench-gate store-smoke trace-smoke fault-smoke fuzz-smoke vrange-ablation lint-catalog telemetry-catalog tracediff-selftest fmt fmt-fix vet lint lint-strict irlint print-staticcheck-version check
+.PHONY: all build test race bench bench-smoke bench-metrics bench-gate store-smoke trace-smoke fault-smoke fuzz-smoke vrange-ablation service-smoke lint-catalog telemetry-catalog tracediff-selftest fmt fmt-fix vet lint lint-strict irlint print-staticcheck-version check
 
 # Pinned staticcheck release; CI installs exactly this version.
 STATICCHECK_VERSION = 2025.1.1
@@ -128,6 +128,40 @@ vrange-ablation:
 			grep "\"$$c\"" $(VRANGE_ABLATION_DIR)/metrics.json; exit 1; \
 		fi; \
 	done
+
+# Service smoke (what CI runs): boot castand with chaos and a store,
+# drive 50 mixed requests through castanload (tiny budgets forcing
+# degradation, armed fault plans, idempotency-key collisions, retried
+# 429s), gate one live endpoint response through reportcheck -url, then
+# SIGTERM the daemon: it must drain in-flight work to valid reports,
+# flush metrics, and exit 0. CI overrides SERVICE_SMOKE_DIR and uploads
+# the logs, load summary, and final metrics snapshot.
+SERVICE_SMOKE_DIR ?= /tmp/castan-service-smoke
+service-smoke:
+	mkdir -p $(SERVICE_SMOKE_DIR)
+	$(GO) build -o $(SERVICE_SMOKE_DIR)/castand ./cmd/castand
+	$(GO) build -o $(SERVICE_SMOKE_DIR)/castanload ./cmd/castanload
+	$(GO) build -o $(SERVICE_SMOKE_DIR)/reportcheck ./cmd/reportcheck
+	@set -e; dir=$(SERVICE_SMOKE_DIR); rm -f $$dir/addr; \
+	$$dir/castand -addr 127.0.0.1:0 -addr-file $$dir/addr -chaos \
+		-store $$dir/store -metrics-out $$dir/metrics.json \
+		2> $$dir/castand.log & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	for i in $$(seq 1 100); do [ -s $$dir/addr ] && break; sleep 0.1; done; \
+	[ -s $$dir/addr ] || { echo "castand never published its address:"; cat $$dir/castand.log; exit 1; }; \
+	addr=$$(cat $$dir/addr); \
+	echo "== castand on $$addr: 50 mixed requests (tiny budgets + fault plans)"; \
+	$$dir/castanload -addr-file $$dir/addr -n 50 -c 8 -seed 1 \
+		-tiny-budget-frac 0.3 -fault-frac 0.2 -out $$dir/load-summary.json; \
+	echo "== live-endpoint report gate (reportcheck -url)"; \
+	$$dir/reportcheck -url "http://$$addr/v1/analyze?nf=lpm-trie&packets=4&states=1200&seed=7" -nf lpm-trie; \
+	echo "== SIGTERM: graceful drain must exit 0"; \
+	kill -TERM $$pid; \
+	wait $$pid || { echo "castand drain exited nonzero:"; cat $$dir/castand.log; exit 1; }; \
+	trap - EXIT; \
+	grep -q "drained cleanly" $$dir/castand.log || { echo "no clean-drain line:"; cat $$dir/castand.log; exit 1; }; \
+	[ -s $$dir/metrics.json ] || { echo "metrics snapshot not flushed"; exit 1; }; \
+	echo "service smoke OK"
 
 fmt:
 	@out="$$(gofmt -l .)"; \

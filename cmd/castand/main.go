@@ -1,0 +1,136 @@
+// Command castand runs castan as a long-lived analysis service: an
+// HTTP/JSON daemon that queues concurrent analysis requests, shards them
+// across a supervised worker fleet, and degrades instead of dying under
+// overload, injected faults, or worker crashes (see internal/service for
+// the full contract).
+//
+// Lifecycle: SIGTERM/SIGINT starts a graceful drain — admission stops
+// (/readyz turns 503), every queued and in-flight analysis is
+// budget-canceled so it returns a valid degraded report, the fleet is
+// waited on up to -drain-timeout, metrics are flushed, and the process
+// exits 0. A second signal exits immediately.
+//
+// Usage:
+//
+//	castand -addr 127.0.0.1:8347 -workers 4 -store /tmp/castan-store
+//	castand -addr 127.0.0.1:0 -addr-file /tmp/castand.addr   # scripts
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"castan/internal/obs"
+	"castan/internal/retry"
+	"castan/internal/service"
+	"castan/internal/store"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8347", "listen address (port 0 picks a free port)")
+		addrFile     = flag.String("addr-file", "", "write the resolved listen address to this file (for scripts)")
+		workers      = flag.Int("workers", 4, "analysis worker fleet size")
+		analysisW    = flag.Int("analysis-workers", 1, "per-job pipeline fan-out (output-invariant)")
+		queueDepth   = flag.Int("queue", 64, "admission queue depth")
+		tenantCap    = flag.Int("tenant-cap", 8, "per-tenant queued+running cap")
+		tenantBudget = flag.Uint64("tenant-budget", 0, "cumulative tick allotment per tenant (0 = unlimited)")
+		defBudget    = flag.Uint64("budget", 0, "default per-request tick budget (0 = unlimited)")
+		defDeadline  = flag.Duration("deadline", 0, "default per-request deadline, queue wait included (0 = none)")
+		defPackets   = flag.Int("packets", 4, "default workload length per request")
+		defStates    = flag.Int("states", 1500, "default exploration budget per request")
+		storeDir     = flag.String("store", "", "artifact + report cache directory (empty = no store)")
+		chaos        = flag.Bool("chaos", false, "honor fault/chaos request fields (tests only)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful drain bound on SIGTERM")
+		metricsOut   = flag.String("metrics-out", "", "write the final service metrics snapshot here on exit")
+		crashQuar    = flag.Int("crash-quarantine", 3, "worker crashes per request shape before quarantine")
+	)
+	flag.Parse()
+
+	cfg := service.Config{
+		Workers:          *workers,
+		AnalysisWorkers:  *analysisW,
+		QueueDepth:       *queueDepth,
+		TenantCap:        *tenantCap,
+		TenantBudget:     *tenantBudget,
+		DefaultBudget:    *defBudget,
+		DefaultDeadline:  *defDeadline,
+		DefaultPackets:   *defPackets,
+		DefaultMaxStates: *defStates,
+		CrashQuarantine:  *crashQuar,
+		AllowChaos:       *chaos,
+		Restart:          retry.Policy{Base: 50 * time.Millisecond, Max: 2 * time.Second, Factor: 2, Jitter: 0.2, Seed: 1},
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Store = st
+	}
+
+	srv := service.New(cfg)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	if *addrFile != "" {
+		// Write-then-rename so watchers never read a half-written address.
+		tmp := *addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			fatal(err)
+		}
+		if err := os.Rename(tmp, *addrFile); err != nil {
+			fatal(err)
+		}
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "castand: serve:", err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "castand: listening on %s (%d workers, queue %d, chaos %v)\n",
+		ln.Addr(), *workers, *queueDepth, *chaos)
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	got := <-sig
+	fmt.Fprintf(os.Stderr, "castand: %s received, draining (timeout %s)\n", got, *drainTimeout)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "castand: second signal, exiting immediately")
+		os.Exit(1)
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := srv.Shutdown(ctx)
+	_ = httpSrv.Shutdown(ctx)
+	if *metricsOut != "" {
+		m := srv.Metrics()
+		if m == nil {
+			m = &obs.Metrics{}
+		}
+		if err := m.WriteJSONFile(*metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "castand: metrics flush:", err)
+		}
+	}
+	if drainErr != nil {
+		fmt.Fprintln(os.Stderr, "castand:", drainErr)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "castand: drained cleanly")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "castand:", err)
+	os.Exit(1)
+}

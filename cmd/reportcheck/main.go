@@ -8,19 +8,24 @@
 // must match except wall-clock time and the telemetry snapshot, which
 // legitimately differ between runs (e.g. a warm-store run skips
 // discovery effort). The CI store-smoke gate uses this to prove a warm
-// store changes effort, never output.
+// store changes effort, never output. With -url the report is fetched
+// from a running castand endpoint instead of a file, so the service
+// smoke test reuses the same schema gate as offline runs.
 //
 // Usage:
 //
 //	reportcheck -report report.json -nf lpm-trie -require-degraded
 //	reportcheck -report cold.json -compare warm.json
+//	reportcheck -url 'http://127.0.0.1:8080/v1/analyze?nf=lpm-trie&packets=4'
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
-	"reflect"
+	"time"
 
 	"castan/internal/castan"
 )
@@ -28,69 +33,78 @@ import (
 func main() {
 	var (
 		path    = flag.String("report", "", "report JSON path")
+		url     = flag.String("url", "", "fetch the report from a castand endpoint instead of a file")
 		nfName  = flag.String("nf", "", "expected NF name (optional)")
 		reqDeg  = flag.Bool("require-degraded", false, "fail unless the report records degradations and budget ticks")
 		compare = flag.String("compare", "", "second report that must describe the identical outcome (only analysis_seconds and telemetry may differ)")
+		timeout = flag.Duration("timeout", 2*time.Minute, "HTTP timeout for -url fetches")
 	)
 	flag.Parse()
-	if *path == "" {
-		fmt.Fprintln(os.Stderr, "reportcheck: -report is required")
+	if (*path == "") == (*url == "") {
+		fmt.Fprintln(os.Stderr, "reportcheck: exactly one of -report or -url is required")
 		os.Exit(2)
 	}
-	f, err := os.Open(*path)
-	if err != nil {
-		fatal(err)
+	var (
+		rep *castan.Report
+		src string
+		err error
+	)
+	if *url != "" {
+		src = *url
+		rep, err = fetch(*url, *timeout)
+	} else {
+		src = *path
+		rep, err = load(*path)
 	}
-	defer f.Close()
-	rep, err := castan.ReadReport(f)
 	if err != nil {
 		fatal(err)
 	}
 	if *compare != "" {
-		g, err := os.Open(*compare)
+		other, err := load(*compare)
 		if err != nil {
 			fatal(err)
 		}
-		other, err := castan.ReadReport(g)
-		g.Close()
-		if err != nil {
-			fatal(err)
+		if !rep.SameOutcome(other) {
+			fatal(fmt.Errorf("%s and %s describe different outcomes (beyond analysis_seconds/telemetry)", src, *compare))
 		}
-		a, b := *rep, *other
-		// The only run-dependent fields: everything else must match.
-		a.AnalysisSeconds, b.AnalysisSeconds = 0, 0
-		a.Telemetry, b.Telemetry = nil, nil
-		if !reflect.DeepEqual(a, b) {
-			fatal(fmt.Errorf("%s and %s describe different outcomes (beyond analysis_seconds/telemetry)", *path, *compare))
-		}
-		fmt.Printf("reportcheck: %s and %s describe the identical outcome\n", *path, *compare)
+		fmt.Printf("reportcheck: %s and %s describe the identical outcome\n", src, *compare)
 	}
-	if *nfName != "" && rep.NF != *nfName {
-		fatal(fmt.Errorf("report is for NF %q, want %q", rep.NF, *nfName))
-	}
-	if len(rep.Packets) == 0 {
-		fatal(fmt.Errorf("report carries no packets"))
-	}
-	for i, p := range rep.Packets {
-		if p.Index != i {
-			fatal(fmt.Errorf("packet %d has index %d", i, p.Index))
-		}
+	if err := rep.Check(*nfName); err != nil {
+		fatal(err)
 	}
 	if *reqDeg {
 		if len(rep.Degradations) == 0 {
 			fatal(fmt.Errorf("no degradations recorded; expected a budget-cut run"))
-		}
-		for _, d := range rep.Degradations {
-			if d.Stage == "" || d.Reason == "" || d.Fallback == "" {
-				fatal(fmt.Errorf("incomplete degradation record %+v", d))
-			}
 		}
 		if rep.BudgetTicksUsed == 0 {
 			fatal(fmt.Errorf("budget_ticks_used is zero on a budget-cut run"))
 		}
 	}
 	fmt.Printf("reportcheck: %s ok (nf %s, %d packets, %d degradations, %d ticks)\n",
-		*path, rep.NF, len(rep.Packets), len(rep.Degradations), rep.BudgetTicksUsed)
+		src, rep.NF, len(rep.Packets), len(rep.Degradations), rep.BudgetTicksUsed)
+}
+
+func load(path string) (*castan.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return castan.ReadReport(f)
+}
+
+func fetch(url string, timeout time.Duration) (*castan.Report, error) {
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("GET %s: %s: %s", url, resp.Status, body)
+	}
+	return castan.ReadReport(resp.Body)
 }
 
 func fatal(err error) {

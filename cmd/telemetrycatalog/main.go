@@ -54,6 +54,7 @@ var counterMeta = map[string]meta{
 	"memsim.l3_evictions":           {"lines", "L3 lines evicted by simulated accesses"},
 	"memsim.probe_calls":            {"probes", "timing-probe invocations during contention-set discovery"},
 	"memsim.probe_line_reads":       {"lines", "cache lines touched by discovery probes — the discovery-effort gate column"},
+	"obs.sub.dropped":               {"events", "progress events a bounded subscriber (obs.ChanSub) discarded because its buffer was full — a slow-consumer signal, deliberately not a gate column"},
 	"rainbow.bruteforce_calls":      {"calls", "hash inversions that fell back to bounded brute force"},
 	"rainbow.chains":                {"chains", "rainbow-table chains built for hash inversion"},
 	"rainbow.invert_attempts":       {"lookups", "rainbow-table inversion lookups attempted"},
@@ -105,6 +106,11 @@ var phaseMeta = map[string]meta{
 // degraded run, all under the fake clock so regeneration is stable.
 func sample(storeDir string) (*obs.Metrics, error) {
 	rec := obs.New(obs.NewFakeClock(1000))
+	// A deliberately tiny, never-drained subscriber so the sample also
+	// exercises the slow-consumer drop path (obs.sub.dropped).
+	sub := obs.NewChanSub(1)
+	sub.CountDrops(rec.Counter(obs.SubDroppedCounter))
+	rec.Subscribe(sub)
 	st, err := store.Open(storeDir)
 	if err != nil {
 		return nil, err

@@ -65,6 +65,7 @@ type Meter struct {
 	totalUsed  atomic.Uint64
 	clock      obs.Clock
 	deadlineAt uint64 // clock reading at which the deadline fires; 0 = none
+	canceled   atomic.Pointer[string]
 
 	mu     sync.Mutex
 	stages map[string]*Stage
@@ -116,6 +117,34 @@ func (m *Meter) Stage(name string) *Stage {
 	return s
 }
 
+// Cancel forces the meter into the exhausted state with the given
+// reason, regardless of ticks or deadline. It is the cooperative kill
+// switch a draining server pulls on every in-flight analysis: the
+// pipeline observes exhaustion at its next deterministic checkpoint and
+// degrades into a valid partial report instead of being torn down
+// mid-stage. Safe to call from any goroutine, idempotent (the first
+// reason wins), and a no-op on a nil meter.
+func (m *Meter) Cancel(reason string) {
+	if m == nil {
+		return
+	}
+	if reason == "" {
+		reason = "canceled"
+	}
+	m.canceled.CompareAndSwap(nil, &reason)
+}
+
+// Canceled reports whether Cancel was called, with its reason.
+func (m *Meter) Canceled() (string, bool) {
+	if m == nil {
+		return "", false
+	}
+	if r := m.canceled.Load(); r != nil {
+		return *r, true
+	}
+	return "", false
+}
+
 // TotalUsed reads the ticks charged across all stages.
 func (m *Meter) TotalUsed() uint64 {
 	if m == nil {
@@ -129,14 +158,19 @@ func (m *Meter) Used(stage string) uint64 {
 	return m.Stage(stage).Used()
 }
 
-// Exhausted reports whether the whole-run limit or the deadline has been
-// reached, with a human-readable reason. Call it only from deterministic
+// Exhausted reports whether a Cancel, the whole-run limit, or the
+// deadline has been reached, with a human-readable reason. The cancel
+// check reads no clock, so a never-canceled meter's behavior under a
+// FakeClock is unchanged. Call it only from deterministic
 // control points on the orchestrating goroutine: with a FakeClock every
 // call advances the clock, and from workers the reading order (and hence
 // the recorded trace) would depend on scheduling.
 func (m *Meter) Exhausted() (string, bool) {
 	if m == nil {
 		return "", false
+	}
+	if r := m.canceled.Load(); r != nil {
+		return *r, true
 	}
 	if m.total > 0 {
 		if used := m.totalUsed.Load(); used >= m.total {

@@ -174,3 +174,42 @@ func TestStageHandleIdentity(t *testing.T) {
 		t.Fatal("Stage returned distinct handles for one name")
 	}
 }
+
+func TestCancelForcesExhaustion(t *testing.T) {
+	m := New(0) // unlimited ticks, no deadline: only Cancel can exhaust it
+	if reason, ok := m.Exhausted(); ok {
+		t.Fatalf("fresh meter exhausted: %q", reason)
+	}
+	if reason, ok := m.Canceled(); ok {
+		t.Fatalf("fresh meter canceled: %q", reason)
+	}
+	m.Cancel("server draining")
+	reason, ok := m.Exhausted()
+	if !ok || reason != "server draining" {
+		t.Fatalf("Exhausted = (%q, %v), want the cancel reason", reason, ok)
+	}
+	if reason, ok := m.Canceled(); !ok || reason != "server draining" {
+		t.Fatalf("Canceled = (%q, %v), want (server draining, true)", reason, ok)
+	}
+	// Stage handles observe the cancel too (they delegate to the meter).
+	if reason, ok := m.Stage(StageSymbex).Exhausted(); !ok || reason != "server draining" {
+		t.Fatalf("stage Exhausted = (%q, %v), want the cancel reason", reason, ok)
+	}
+	// Idempotent: the first reason wins.
+	m.Cancel("second reason")
+	if reason, _ := m.Exhausted(); reason != "server draining" {
+		t.Fatalf("second Cancel overwrote the reason: %q", reason)
+	}
+	// Empty reason still cancels, with a fallback string.
+	m2 := New(0)
+	m2.Cancel("")
+	if reason, ok := m2.Exhausted(); !ok || reason == "" {
+		t.Fatalf("empty-reason Cancel: Exhausted = (%q, %v)", reason, ok)
+	}
+	// Nil meters stay no-ops.
+	var nilM *Meter
+	nilM.Cancel("x")
+	if _, ok := nilM.Canceled(); ok {
+		t.Fatal("nil meter reports canceled")
+	}
+}

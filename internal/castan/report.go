@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"reflect"
 
 	"castan/internal/obs"
 	"castan/internal/packet"
@@ -127,4 +128,50 @@ func ReadReport(r io.Reader) (*Report, error) {
 		return nil, fmt.Errorf("castan: decode report: %w", err)
 	}
 	return &rep, nil
+}
+
+// Check validates the report's structural invariants: a named NF
+// (matching expectNF when non-empty), a non-empty packet list with dense
+// 0-based indices, and complete degradation records. It is the shared
+// schema gate behind cmd/reportcheck and the castand service contract —
+// every HTTP 200 response, however degraded, must pass it.
+func (r *Report) Check(expectNF string) error {
+	if r == nil {
+		return fmt.Errorf("report is nil")
+	}
+	if r.NF == "" {
+		return fmt.Errorf("report names no NF")
+	}
+	if expectNF != "" && r.NF != expectNF {
+		return fmt.Errorf("report is for NF %q, want %q", r.NF, expectNF)
+	}
+	if len(r.Packets) == 0 {
+		return fmt.Errorf("report carries no packets")
+	}
+	for i, p := range r.Packets {
+		if p.Index != i {
+			return fmt.Errorf("packet %d has index %d", i, p.Index)
+		}
+	}
+	for _, d := range r.Degradations {
+		if d.Stage == "" || d.Reason == "" || d.Fallback == "" {
+			return fmt.Errorf("incomplete degradation record %+v", d)
+		}
+	}
+	return nil
+}
+
+// SameOutcome reports whether two reports describe the identical
+// analysis outcome. Only the run-dependent fields — wall-clock time and
+// the telemetry snapshot — are exempt; everything else must match
+// exactly. This is the determinism comparator behind reportcheck
+// -compare and the service's worker-count invariance test.
+func (r *Report) SameOutcome(other *Report) bool {
+	if r == nil || other == nil {
+		return r == other
+	}
+	a, b := *r, *other
+	a.AnalysisSeconds, b.AnalysisSeconds = 0, 0
+	a.Telemetry, b.Telemetry = nil, nil
+	return reflect.DeepEqual(a, b)
 }

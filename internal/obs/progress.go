@@ -235,13 +235,22 @@ func (s *JSONLSink) Close() error {
 	return s.err
 }
 
-// ChanSub buffers events in a bounded channel — the seam a server (the
-// future castand) drains into server-sent events. Delivery never blocks
-// the pipeline: when the buffer is full the event is counted as dropped
-// instead. Sequence numbers make drops visible to the consumer as gaps.
+// SubDroppedCounter is the canonical counter name for events a bounded
+// subscriber had to discard on a full buffer (see ChanSub.CountDrops).
+// It is deliberately not a gate counter: drops depend on how fast the
+// consumer drains, which is live scheduling, not analysis effort.
+const SubDroppedCounter = "obs.sub.dropped"
+
+// ChanSub buffers events in a bounded channel — the seam castand drains
+// into server-sent events. Delivery never blocks the pipeline: when the
+// buffer is full the event is counted as dropped instead. Sequence
+// numbers make drops visible to the consumer as gaps, and CountDrops
+// additionally mirrors the count into a real counter so operators see
+// slow consumers without diffing sequence numbers.
 type ChanSub struct {
 	ch      chan ProgressEvent
 	dropped atomic.Uint64
+	counter *Counter
 }
 
 // NewChanSub returns a subscriber buffering up to buffer events
@@ -253,12 +262,20 @@ func NewChanSub(buffer int) *ChanSub {
 	return &ChanSub{ch: make(chan ProgressEvent, buffer)}
 }
 
+// CountDrops mirrors every dropped event into ctr — conventionally
+// rec.Counter(SubDroppedCounter) — in addition to the local Dropped
+// tally. Set it before subscribing: OnProgress runs under the recorder
+// mutex, so the counter must be resolved up front (a Counter add is a
+// bare atomic, safe there; a Recorder.Counter lookup would deadlock).
+func (c *ChanSub) CountDrops(ctr *Counter) { c.counter = ctr }
+
 // OnProgress implements Subscriber with a non-blocking send.
 func (c *ChanSub) OnProgress(ev ProgressEvent) {
 	select {
 	case c.ch <- ev:
 	default:
 		c.dropped.Add(1)
+		c.counter.Add(1)
 	}
 }
 

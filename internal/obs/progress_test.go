@@ -138,6 +138,36 @@ func TestChanSubDropsWhenFull(t *testing.T) {
 	}
 }
 
+func TestChanSubCountDrops(t *testing.T) {
+	rec := New(NewFakeClock(1000))
+	sub := NewChanSub(2)
+	sub.CountDrops(rec.Counter(SubDroppedCounter))
+	rec.Subscribe(sub)
+	for i := 0; i < 7; i++ {
+		rec.Note("x", "n")
+	}
+	if got := sub.Dropped(); got != 5 {
+		t.Errorf("Dropped() = %d, want 5", got)
+	}
+	// The mirror counter carries the same tally, so the drop count shows
+	// up in metrics snapshots (and /metricsz) instead of only as seq gaps.
+	if got := rec.Counter(SubDroppedCounter).Value(); got != 5 {
+		t.Errorf("%s = %d, want 5", SubDroppedCounter, got)
+	}
+	// Without CountDrops the counter never moves and a nil counter is safe.
+	rec2 := New(NewFakeClock(1000))
+	sub2 := NewChanSub(1)
+	rec2.Subscribe(sub2)
+	rec2.Note("x", "a")
+	rec2.Note("x", "b")
+	if sub2.Dropped() != 1 {
+		t.Errorf("Dropped() = %d, want 1", sub2.Dropped())
+	}
+	if got := rec2.Counter(SubDroppedCounter).Value(); got != 0 {
+		t.Errorf("unmirrored drop moved %s to %d", SubDroppedCounter, got)
+	}
+}
+
 func TestJSONLSinkRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	rec := New(NewFakeClock(1000))

@@ -1,0 +1,232 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"castan/internal/nf"
+	"castan/internal/obs"
+)
+
+// The HTTP surface of castand. The response contract, by status:
+//
+//	200  a schema-valid Report (the bare report JSON, so reportcheck
+//	     -url and castan.ReadReport consume it directly). Degraded runs
+//	     set X-Castan-Degraded: true; cache hits set X-Castan-Cache: hit.
+//	400  malformed request (JSON error body).
+//	422  the analysis refused the request shape (JSON error body).
+//	429  admission pushback — queue full, tenant cap, tenant budget, or
+//	     shed under load. Carries Retry-After (seconds) and
+//	     retry_after_ms in the body; clients back off and retry.
+//	503  not servable now — draining, quarantined shape, or the worker
+//	     crashed running the job.
+//
+// The analysis pipeline never produces a 500: budget/deadline cuts and
+// injected faults ride the degradation path to a valid 200.
+
+// Handler returns the service mux:
+//
+//	POST /v1/analyze         JSON Request body -> Report
+//	GET  /v1/analyze         query params       -> Report
+//	     ?stream=sse         live ProgressEvents, then the final report
+//	GET  /v1/nfs             the NF catalog
+//	GET  /healthz            200 while the process lives
+//	GET  /readyz             200 admitting, 503 draining
+//	GET  /metricsz           service recorder snapshot
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("/v1/nfs", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(nf.Names)
+	})
+	mux.HandleFunc("/metricsz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		m := s.Metrics()
+		if m == nil {
+			m = &obs.Metrics{}
+		}
+		_ = m.WriteJSON(w)
+	})
+	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
+	return mux
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	switch r.Method {
+	case http.MethodPost:
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, 400, "bad request body: "+err.Error(), 0)
+			return
+		}
+	case http.MethodGet:
+		if err := reqFromQuery(r, &req); err != nil {
+			writeError(w, 400, err.Error(), 0)
+			return
+		}
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "use GET or POST", 0)
+		return
+	}
+	if r.URL.Query().Get("stream") == "sse" {
+		s.streamAnalyze(w, r, req)
+		return
+	}
+	writeResponse(w, s.Do(r.Context(), req, nil))
+}
+
+// streamAnalyze serves one request over server-sent events. The stream
+// carries `progress` events (ProgressEvent JSON) while the analysis
+// runs, then one terminal `report` (the Response JSON) or `error` event.
+//
+// Drop-on-slow-consumer semantics: events flow through a bounded
+// obs.ChanSub; when the client (or the HTTP write path) cannot keep up,
+// excess events are dropped, never buffered unboundedly and never
+// blocking the analysis. Drops are visible three ways — as gaps in the
+// events' seq numbers, in the terminal event's dropped count, and on the
+// service-wide obs.sub.dropped counter. The terminal event is always
+// delivered after the subscriber's remaining buffer is flushed.
+//
+// The HTTP status is always 200 (it is sent before the outcome is
+// known); the real status rides inside the terminal event's JSON.
+func (s *Server) streamAnalyze(w http.ResponseWriter, r *http.Request, req Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, 500, "streaming unsupported by connection", 0)
+		return
+	}
+	sub := obs.NewChanSub(256)
+	sub.CountDrops(s.rec.Counter(obs.SubDroppedCounter))
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	done := make(chan Response, 1)
+	go func() { done <- s.Do(r.Context(), req, sub) }()
+
+	writeEvent := func(kind string, v any) {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", kind, data)
+		flusher.Flush()
+	}
+	for {
+		select {
+		case ev := <-sub.Events():
+			writeEvent("progress", ev)
+		case resp := <-done:
+			// Flush what the subscriber buffered before the terminal
+			// event, so a fast consumer sees every event that survived.
+			for {
+				select {
+				case ev := <-sub.Events():
+					writeEvent("progress", ev)
+					continue
+				default:
+				}
+				break
+			}
+			kind := "report"
+			if resp.Status != 200 {
+				kind = "error"
+			}
+			writeEvent(kind, struct {
+				Response
+				Dropped uint64 `json:"dropped_events"`
+			}{resp, sub.Dropped()})
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func reqFromQuery(r *http.Request, req *Request) error {
+	q := r.URL.Query()
+	req.NF = q.Get("nf")
+	req.Tenant = q.Get("tenant")
+	req.Key = q.Get("key")
+	req.Fault = q.Get("fault")
+	req.Chaos = q.Get("chaos")
+	for name, dst := range map[string]*int{
+		"packets": &req.Packets, "states": &req.MaxStates, "priority": &req.Priority,
+	} {
+		if v := q.Get(name); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return fmt.Errorf("bad %s %q", name, v)
+			}
+			*dst = n
+		}
+	}
+	if v := q.Get("seed"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad seed %q", v)
+		}
+		req.Seed = n
+	}
+	if v := q.Get("budget"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad budget %q", v)
+		}
+		req.Budget = n
+	}
+	if v := q.Get("deadline_ms"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad deadline_ms %q", v)
+		}
+		req.DeadlineMS = n
+	}
+	return nil
+}
+
+func writeResponse(w http.ResponseWriter, resp Response) {
+	if resp.Status == 200 && resp.Report != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Castan-Degraded", strconv.FormatBool(resp.Degraded))
+		if resp.CacheHit {
+			w.Header().Set("X-Castan-Cache", "hit")
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(resp.Report)
+		return
+	}
+	writeError(w, resp.Status, resp.Err, resp.RetryAfterMS)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string, retryAfterMS int64) {
+	w.Header().Set("Content-Type", "application/json")
+	if retryAfterMS > 0 {
+		// Retry-After is whole seconds; round up so clients never retry
+		// before the hint.
+		w.Header().Set("Retry-After", strconv.FormatInt((retryAfterMS+999)/1000, 10))
+	}
+	if status <= 0 {
+		status = 500
+	}
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(struct {
+		Error        string `json:"error"`
+		RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+	}{msg, retryAfterMS})
+}

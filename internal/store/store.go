@@ -41,6 +41,9 @@ const Schema = "castan-store/v1"
 const (
 	KindModel   = "cachemodel"
 	KindRainbow = "rainbow"
+	// KindReport holds clean (non-degraded) analysis reports keyed by an
+	// idempotent request — the castand service's retry cache.
+	KindReport = "report"
 )
 
 // Key derives the canonical content address for an artifact from the

@@ -3,6 +3,7 @@ package symbex
 import (
 	"container/heap"
 	"fmt"
+	"sync/atomic"
 
 	"castan/internal/analysis/cachecost"
 	"castan/internal/analysis/taint"
@@ -830,30 +831,31 @@ func (e *Engine) extendModel(s *State, c *expr.Expr) (solver.Model, bool) {
 	// local problem tiny.
 	switch m, res := e.localRepair(s, c, e.currentPacketFilter(s)); res {
 	case solver.Sat:
-		DbgLocal1++
+		DbgLocal1.Add(1)
 		return m, true
 	case solver.Unsat:
 		// Unsatisfiable with the whole current packet free and all earlier
 		// packets pinned. Re-choosing earlier packets' bytes could in
 		// principle reopen the branch, but the engine commits to its
 		// earlier choices (the locally-optimal policy of §3.3).
-		DbgLocalUnsat++
+		DbgLocalUnsat.Add(1)
 		return nil, false
 	}
-	DbgFull++
+	DbgFull.Add(1)
 	all := append(append([]*expr.Expr(nil), s.constraints...), c)
 	e.sol.Hint = s.model
 	res, m := e.sol.Check(all)
 	e.sol.Hint = nil
 	if res != solver.Sat {
-		DbgFullFail++
+		DbgFullFail.Add(1)
 		return nil, false
 	}
 	return m, true
 }
 
-// Debug counters (instrumentation; reset freely in tests).
-var DbgLocal1, DbgLocal2, DbgLocalUnsat, DbgFull, DbgFullFail int
+// Debug counters (instrumentation; reset freely in tests). Atomic so
+// concurrent Analyze runs (the castand service) tally without racing.
+var DbgLocal1, DbgLocal2, DbgLocalUnsat, DbgFull, DbgFullFail atomic.Int64
 
 // DbgDump, when set, receives local problems the budgeted solver could not
 // decide (instrumentation).
